@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one paper artifact via
+:func:`repro.bench.run_figure` in *quick* mode and additionally asserts
+the paper's qualitative claim (who wins, the trend direction), so a
+model regression that flips a conclusion fails loudly rather than just
+shifting a number.
+
+Full-grid reproduction (``--mode paper``) is run through the CLI
+(``repro-bench --figure figX --mode paper``), not through pytest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import FigureResult, run_figure
+
+
+@pytest.fixture(scope="session")
+def figure_runner():
+    """Run (and cache) a figure in quick mode once per session."""
+    cache: dict[str, FigureResult] = {}
+
+    def runner(figure_id: str) -> FigureResult:
+        if figure_id not in cache:
+            cache[figure_id] = run_figure(figure_id, mode="quick")
+        return cache[figure_id]
+
+    return runner
+
+
+def bench_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark.
+
+    The simulator is deterministic — repeated rounds measure Python
+    overhead, not the system under test — so one round suffices.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

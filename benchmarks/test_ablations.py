@@ -1,0 +1,64 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* abl_sync — §6's heavy-weight barrier vs light-weight shared flags.
+* abl_pipeline — §7's pointer to pipelined large/irregular allgather.
+* abl_placement — §6's derived-datatype vs node-sorted-array remedies
+  for non-SMP rank placement.
+* abl_multileader — the multi-leader baseline of [14] does not close
+  the gap to the hybrid approach.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once
+
+from repro.bench.harness import run_figure
+
+
+def test_abl_sync(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("abl_sync", "quick"))
+    print()
+    print(result.render())
+    # Flags are never slower, and win clearly at small message sizes
+    # (where synchronization dominates the hybrid allgather).
+    speedups = result.series("speedup")
+    assert all(s >= 0.99 for s in speedups), speedups
+    assert speedups[0] > 1.15, speedups
+
+
+def test_abl_pipeline(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("abl_pipeline", "quick"))
+    print()
+    print(result.render())
+    # Chunked pipelining clearly wins on the skewed population with
+    # multi-megabyte node blocks.
+    assert all(s > 1.5 for s in result.series("speedup")), result.rows
+
+
+def test_abl_placement(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("abl_placement", "quick"))
+    print()
+    print(result.render())
+    for row in result.rows:
+        # Node-sorted layout: round-robin placement costs the same as SMP.
+        assert abs(row["rr_nodesorted_us"] - row["smp_us"]) <= 0.1 * row["smp_us"]
+        # Datatype packing always pays a penalty (paper §6).
+        assert row["packing_penalty"] > 1.0
+    # The penalty grows with message size (per-byte cost).
+    penalties = result.series("packing_penalty")
+    assert penalties == sorted(penalties), penalties
+
+
+def test_abl_multileader(benchmark, figure_runner):
+    result = bench_once(
+        benchmark, lambda: run_figure("abl_multileader", "quick")
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        baseline_best = min(
+            row["leaders1_us"], row["leaders2_us"], row["leaders4_us"]
+        )
+        # Even the best multi-leader configuration stays far behind the
+        # hybrid approach (which removes the on-node copies entirely).
+        assert row["hy_us"] < 0.5 * baseline_best, row

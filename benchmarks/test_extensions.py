@@ -1,0 +1,43 @@
+"""Benchmarks for the beyond-the-paper extension figures."""
+
+from __future__ import annotations
+
+from conftest import bench_once
+
+from repro.bench.harness import run_figure
+
+
+def test_abl_noise(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("abl_noise", "quick"))
+    print()
+    print(result.render())
+    ratios = result.series("ratio")
+    # Hybrid keeps winning under injected noise...
+    assert all(r > 1.0 for r in ratios), ratios
+    # ...but its advantage narrows (synchronization amplifies noise).
+    assert ratios[-1] < ratios[0], ratios
+
+
+def test_ext_weak_scaling(benchmark, figure_runner):
+    result = bench_once(
+        benchmark, lambda: run_figure("ext_weak_scaling", "quick")
+    )
+    print()
+    print(result.render())
+    ratios = result.series("ratio")
+    assert all(r > 1.0 for r in ratios), ratios
+    # Multi-node advantage settles to a sustained plateau, far above 1.
+    assert ratios[-1] > 3.0, ratios
+
+
+def test_ext_strong_scaling(benchmark, figure_runner):
+    result = bench_once(
+        benchmark, lambda: run_figure("ext_strong_scaling", "quick")
+    )
+    print()
+    print(result.render())
+    ratios = result.series("ratio")
+    assert all(r > 1.0 for r in ratios), ratios
+    # Shrinking per-rank blocks narrow the multi-node advantage.
+    multi = ratios[1:]
+    assert multi == sorted(multi, reverse=True), ratios

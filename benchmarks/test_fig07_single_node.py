@@ -1,0 +1,44 @@
+"""Fig 7 — allgather within one full node (24 ranks), both MPI flavours.
+
+Paper claims: Hy_Allgather is ~constant in message size (one barrier)
+and always cheaper than the naive pure-MPI Allgather, whose cost grows
+steadily with message size.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once
+
+from repro.bench.harness import run_figure
+
+
+def test_fig7_regenerate(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("fig7", mode="quick"))
+    print()
+    print(result.render())
+
+    for flavour in ("cray", "ompi"):
+        hy = result.series(f"hy_{flavour}_us")
+        pure = result.series(f"allgather_{flavour}_us")
+        # Hybrid beats pure at every size.
+        assert all(h < p for h, p in zip(hy, pure)), flavour
+        # Hybrid is ~flat: largest size within 3x of smallest.
+        assert max(hy) <= 3.0 * min(hy), flavour
+        # Pure grows steadily: biggest message far above the smallest.
+        assert pure[-1] > 50.0 * pure[0], flavour
+
+
+def test_fig7_gap_widens_with_size(figure_runner):
+    result = figure_runner("fig7")
+    for flavour in ("cray", "ompi"):
+        ratios = [
+            p / h
+            for p, h in zip(
+                result.series(f"allgather_{flavour}_us"),
+                result.series(f"hy_{flavour}_us"),
+            )
+        ]
+        assert ratios == sorted(ratios), (
+            f"{flavour}: hybrid advantage should grow with message size: "
+            f"{ratios}"
+        )

@@ -1,0 +1,59 @@
+"""Fig 8a/8b — one MPI rank per node (the hybrid approach's worst case).
+
+Paper claims: with no on-node sharing to exploit, Hy_Allgather (which
+must use MPI_Allgatherv on the bridge) is slightly *slower* than the
+pure MPI_Allgather, and the gap shrinks for large messages / node
+counts.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once
+
+from repro.bench.harness import run_figure
+
+
+def _check_worst_case(result, nodes: int) -> None:
+    hy = result.series(f"hy_{nodes}_us")
+    pure = result.series(f"allgather_{nodes}_us")
+    # Hybrid never wins big here (it has no shared memory to exploit):
+    # allow a small tolerance for algorithm-threshold cliffs.
+    assert all(h >= 0.95 * p for h, p in zip(hy, pure)), (
+        f"{nodes} nodes: hybrid should not beat pure with 1 rank/node"
+    )
+    # ...but it is only *slightly* inferior at the largest message.
+    assert hy[-1] <= 1.2 * pure[-1], (
+        f"{nodes} nodes: gap should shrink for large messages "
+        f"(hy={hy[-1]:.1f}us pure={pure[-1]:.1f}us)"
+    )
+
+
+def test_fig8a_regenerate(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("fig8a", mode="quick"))
+    print()
+    print(result.render())
+    for nodes in (4, 16):
+        _check_worst_case(result, nodes)
+
+
+def test_fig8b_regenerate(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("fig8b", mode="quick"))
+    print()
+    print(result.render())
+    for nodes in (4, 16):
+        _check_worst_case(result, nodes)
+
+
+def test_fig8_relative_gap_shrinks_with_size(figure_runner):
+    result = figure_runner("fig8b")
+    for nodes in (4, 16):
+        gaps = [
+            h / p
+            for h, p in zip(
+                result.series(f"hy_{nodes}_us"),
+                result.series(f"allgather_{nodes}_us"),
+            )
+        ]
+        assert gaps[-1] <= gaps[0] + 0.05, (
+            f"{nodes} nodes: relative gap should not grow with size: {gaps}"
+        )

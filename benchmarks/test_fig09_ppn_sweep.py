@@ -1,0 +1,36 @@
+"""Fig 9a/9b — fixed node count, 3..24 ranks per node.
+
+Paper claims: the hybrid advantage *grows* with the number of ranks per
+node (more on-node copies removed), at both 512 and 16384 elements.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once
+
+from repro.bench.harness import run_figure
+
+
+def _check_growth(result) -> None:
+    for flavour in ("cray", "ompi"):
+        ratios = result.series(f"ratio_{flavour}")
+        # Hybrid wins at every ppn >= 3...
+        assert all(r > 1.0 for r in ratios), (flavour, ratios)
+        # ...and the win grows monotonically with ppn.
+        assert ratios == sorted(ratios), (
+            f"{flavour}: advantage should grow with ppn: {ratios}"
+        )
+
+
+def test_fig9a_regenerate(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("fig9a", mode="quick"))
+    print()
+    print(result.render())
+    _check_growth(result)
+
+
+def test_fig9b_regenerate(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("fig9b", mode="quick"))
+    print()
+    print(result.render())
+    _check_growth(result)

@@ -1,0 +1,30 @@
+"""Fig 10 — irregularly populated nodes (42x24 + 1x16 in the paper).
+
+Paper claims: even on an irregular population — where MPI_Allgatherv's
+cost is set by the largest per-node block — Hy_Allgather keeps
+consistently lower latency than the pure-MPI irregular allgather.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once
+
+from repro.bench.harness import run_figure
+
+
+def test_fig10_regenerate(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("fig10", mode="quick"))
+    print()
+    print(result.render())
+    for flavour in ("cray", "ompi"):
+        ratios = result.series(f"ratio_{flavour}")
+        assert all(r > 1.0 for r in ratios), (
+            f"{flavour}: hybrid should win at every size on the "
+            f"irregular population: {ratios}"
+        )
+
+
+def test_fig10_population_is_irregular(figure_runner):
+    result = figure_runner("fig10")
+    # Quick mode: 6 full nodes + one 16-rank node.
+    assert result.rows[0]["ranks"] == 6 * 24 + 16

@@ -1,0 +1,43 @@
+"""Fig 11a-d — SUMMA with pure-MPI vs hybrid broadcasts.
+
+Paper claims: the ratio Ori_SUMMA/Hy_SUMMA is consistently above one,
+largest for small per-core blocks (communication-bound) and approaching
+one for 256x256 blocks (compute-bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import bench_once
+
+from repro.bench.harness import run_figure
+
+_FIGS = {
+    "fig11a": 8,
+    "fig11b": 64,
+    "fig11c": 128,
+    "fig11d": 256,
+}
+
+
+@pytest.mark.parametrize("figure_id", sorted(_FIGS))
+def test_fig11_regenerate(benchmark, figure_runner, figure_id):
+    result = bench_once(
+        benchmark, lambda: run_figure(figure_id, mode="quick")
+    )
+    print()
+    print(result.render())
+    ratios = result.series("ratio")
+    # The hybrid version never loses (tolerance for the 2x2-grid case
+    # where a 2-rank broadcast is already a single copy).
+    assert all(r > 0.95 for r in ratios), ratios
+    # And it clearly wins somewhere in the sweep.
+    assert max(ratios) > 1.2, ratios
+
+
+def test_fig11_small_blocks_win_more_than_large(figure_runner):
+    small = figure_runner("fig11b").series("ratio")
+    large = figure_runner("fig11d").series("ratio")
+    # Communication-bound (64x64) gains more than compute-bound (256x256)
+    # at the same core counts.
+    assert max(small) > max(large), (small, large)

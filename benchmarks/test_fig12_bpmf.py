@@ -1,0 +1,31 @@
+"""Fig 12 — BPMF total-time ratio Ori_BPMF / Hy_BPMF, strong scaling.
+
+Paper claims: the ratio is always above one and on a slow rise as the
+core count grows (+3.9% at 1024 cores; total-time savings up to 10%).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once
+
+from repro.bench.harness import run_figure
+
+
+def test_fig12_regenerate(benchmark, figure_runner):
+    result = bench_once(benchmark, lambda: run_figure("fig12", mode="quick"))
+    print()
+    print(result.render())
+    ratios = result.series("ratio")
+    assert all(r > 1.0 for r in ratios), ratios
+    # Slow rise with core count.
+    assert ratios == sorted(ratios), ratios
+    # "Slow": the advantage stays in a modest band, not a blow-out.
+    assert ratios[0] < 1.1, ratios
+
+
+def test_fig12_strong_scaling_totals_shrink(figure_runner):
+    result = figure_runner("fig12")
+    totals = result.series("ori_tt_ms")
+    assert totals == sorted(totals, reverse=True), (
+        f"total time should fall as cores grow: {totals}"
+    )

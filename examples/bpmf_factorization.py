@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""BPMF on a synthetic chembl-like dataset — Ori_ vs Hy_ (paper §5.2.2).
+
+Runs the real Gibbs sampler in data mode on a down-scaled synthetic
+activity matrix, shows the training RMSE falling over the iterations
+(the factorization genuinely learns), and compares the total time of
+the pure-MPI and hybrid MPI+MPI allgather variants.
+
+Run:  python examples/bpmf_factorization.py
+"""
+
+from repro.apps.bpmf import BPMFConfig, bpmf_program
+from repro.apps.datasets import synthetic_chembl
+from repro.machine import hazel_hen
+from repro.mpi import run_program
+
+CORES = 16
+
+
+def main():
+    dataset = synthetic_chembl(
+        n_compounds=600, n_targets=120, density=0.08, latent_dim=8, seed=11
+    )
+    print(
+        f"synthetic activity matrix: {dataset.num_compounds} compounds x "
+        f"{dataset.num_targets} targets, {dataset.nnz} observations "
+        f"({dataset.density * 100:.1f}% dense)"
+    )
+    results = {}
+    for variant in ("ori", "hybrid"):
+        cfg = BPMFConfig(
+            dataset=dataset,
+            iterations=6,
+            latent_dim=8,
+            variant=variant,
+            per_item_overhead=0.0,       # real math is being executed
+            per_iteration_overhead=0.0,
+        )
+        res = run_program(
+            hazel_hen(num_nodes=1),
+            nprocs=CORES,
+            program=bpmf_program,
+            program_kwargs={"config": cfg},
+        )
+        results[variant] = res.returns[0]
+        rmse = results[variant]["rmse"]
+        print(f"\n{variant}: RMSE per iteration: "
+              + "  ".join(f"{x:.3f}" for x in rmse))
+        assert rmse[-1] < rmse[0], "sampler failed to reduce training RMSE"
+    ori = results["ori"]["total"]
+    hy = results["hybrid"]["total"]
+    print(f"\nOri_BPMF total (virtual): {ori * 1e3:9.2f} ms")
+    print(f"Hy_BPMF  total (virtual): {hy * 1e3:9.2f} ms")
+    print(f"ratio Ori/Hy            : {ori / hy:9.3f} "
+          f"(paper Fig 12: > 1, rising with cores)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""OSU-style micro-benchmark sweep — a miniature of the paper's Fig 9.
+
+Sweeps ranks-per-node at a fixed node count and prints the latency of
+the hybrid vs pure-MPI allgather plus the speedup, on both cluster
+presets (Cray MPI on Hazel Hen, Open MPI on Vulcan).
+
+Run:  python examples/osu_microbenchmark.py [elements]
+"""
+
+import sys
+
+from repro.bench.osu import osu_allgather_latency
+from repro.machine import Placement, hazel_hen, vulcan
+
+NODES = 8
+
+
+def main():
+    elements = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    nbytes = elements * 8
+    print(f"allgather of {elements} doubles/rank over {NODES} nodes")
+    print(f"{'ppn':>4} | {'cray hy':>10} {'cray pure':>10} {'x':>5} | "
+          f"{'ompi hy':>10} {'ompi pure':>10} {'x':>5}")
+    for ppn in (2, 4, 8, 16, 24):
+        placement = Placement.block(NODES, ppn)
+        row = f"{ppn:>4} |"
+        for spec in (hazel_hen(NODES), vulcan(NODES)):
+            hy = osu_allgather_latency(spec, placement, nbytes, "hybrid")
+            pure = osu_allgather_latency(spec, placement, nbytes, "pure")
+            row += (f" {hy * 1e6:>9.1f}u {pure * 1e6:>9.1f}u "
+                    f"{pure / hy:>5.2f} |")
+        print(row)
+    print("(x = pure/hybrid speedup; paper Fig 9: grows with ppn)")
+
+
+if __name__ == "__main__":
+    main()

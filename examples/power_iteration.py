@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Distributed power iteration — allgather-per-step (paper §1 motivation).
+
+Row-partitioned matrix, iterate reassembled with an allgather every
+step: the communication pattern the paper's introduction motivates.
+Finds the dominant eigenvalue of a planted symmetric matrix; compares
+the pure-MPI and hybrid MPI+MPI variants and checks both against
+``numpy.linalg.eigvalsh``.
+
+Run:  python examples/power_iteration.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.matvec import (
+    MatvecConfig,
+    _planted_matrix,
+    power_iteration_program,
+)
+from repro.machine import hazel_hen
+from repro.mpi import run_program
+
+RANKS = 24
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 240
+    true_lam = float(np.linalg.eigvalsh(_planted_matrix(n, seed=21))[-1])
+    print(f"power iteration on {n}x{n} planted matrix, {RANKS} ranks "
+          f"(1 node), true dominant eigenvalue {true_lam:.6f}")
+    totals = {}
+    for variant in ("ori", "hybrid"):
+        cfg = MatvecConfig(n=n, iterations=40, variant=variant)
+        res = run_program(
+            hazel_hen(num_nodes=1), nprocs=RANKS,
+            program=power_iteration_program,
+            program_kwargs={"config": cfg},
+        )
+        r = res.returns[0]
+        totals[variant] = max(x["total"] for x in res.returns)
+        err = abs(r["eigenvalue"] - true_lam) / true_lam
+        print(f"{variant:>7}: lambda={r['eigenvalue']:.6f} "
+              f"(rel err {err:.2e})  residual={r['residual']:.2e}  "
+              f"total={totals[variant] * 1e6:9.1f} us "
+              f"(comm {max(x['comm'] for x in res.returns) * 1e6:8.1f} us)")
+        assert err < 1e-3, "power iteration failed to converge"
+    print(f"speedup Ori/Hy: {totals['ori'] / totals['hybrid']:.2f}x "
+          f"(allgather per iteration becomes one barrier on-node)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""2D Jacobi halo exchange — pure MPI vs hybrid MPI+MPI (Hoefler [10]).
+
+The workload that motivated hybrid MPI+MPI: a 1D-decomposed 5-point
+Jacobi sweep.  In the hybrid variant, on-node neighbours read each
+other's boundary rows straight out of the node-shared window instead of
+exchanging messages; only node-boundary halos use the network.  Both
+variants produce bit-identical grids (checksums compared below).
+
+Run:  python examples/stencil_halo.py
+"""
+
+from repro.apps.stencil import StencilConfig, stencil_program
+from repro.machine import hazel_hen
+from repro.mpi import run_program
+
+RANKS = 32  # over two simulated nodes -> 1 inter-node boundary
+
+
+def run_variant(variant: str):
+    cfg = StencilConfig(
+        rows_per_rank=32, cols=128, iterations=8, variant=variant
+    )
+    res = run_program(
+        hazel_hen(num_nodes=2),
+        nprocs=RANKS,
+        program=stencil_program,
+        program_kwargs={"config": cfg},
+    )
+    total = max(r["total"] for r in res.returns)
+    checksum = sum(r["checksum"] for r in res.returns)
+    return total, checksum, res
+
+
+def main():
+    print(f"Jacobi 5-point stencil: {RANKS} ranks x 32x128 strips, "
+          f"8 sweeps, 2 nodes")
+    totals = {}
+    sums = {}
+    for variant in ("pure", "hybrid"):
+        total, checksum, res = run_variant(variant)
+        totals[variant] = total
+        sums[variant] = checksum
+        print(f"{variant:>7}: {total * 1e6:10.1f} us  "
+              f"checksum={checksum:+.9f}  "
+              f"net msgs={res.network_messages} "
+              f"on-node copies={res.intra_copies}")
+    assert abs(sums["pure"] - sums["hybrid"]) < 1e-9, "results diverged!"
+    print(f"identical results; speedup pure/hybrid = "
+          f"{totals['pure'] / totals['hybrid']:.2f}x "
+          f"(on-node halos became plain loads)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""SUMMA distributed matrix multiplication — Ori_ vs Hy_ (paper §5.2.1).
+
+Runs the real (data-mode) SUMMA kernel on a 4x4 process grid spread over
+two simulated nodes, verifies the distributed product against a local
+``A @ B``, and prints the timing comparison the paper's Fig 11 reports.
+
+Run:  python examples/summa_matmul.py [block_edge]
+"""
+
+import sys
+
+from repro.apps.summa import SummaConfig, grid_shape, summa_program, verify_summa
+from repro.machine import hazel_hen
+from repro.mpi import run_program
+
+CORES = 16
+
+
+def run_variant(block: int, variant: str):
+    cfg = SummaConfig(block=block, variant=variant, verify=True)
+    result = run_program(
+        hazel_hen(num_nodes=1),
+        nprocs=CORES,
+        program=summa_program,
+        program_kwargs={"config": cfg},
+    )
+    q = grid_shape(CORES)
+    assert verify_summa(result.returns, q, block), "product mismatch!"
+    total = max(r["total"] for r in result.returns)
+    comm = max(r["comm"] for r in result.returns)
+    return total, comm
+
+
+def main():
+    block = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    q = grid_shape(CORES)
+    n = q * block
+    print(f"SUMMA C = A x B, global {n}x{n}, {q}x{q} grid "
+          f"({CORES} ranks on one 24-core node), block {block}x{block}")
+    print(f"{'variant':>8} {'total_us':>12} {'comm_us':>12}")
+    times = {}
+    for variant in ("ori", "hybrid"):
+        total, comm = run_variant(block, variant)
+        times[variant] = total
+        print(f"{variant:>8} {total * 1e6:>12.1f} {comm * 1e6:>12.1f}")
+    print(f"ratio Ori/Hy: {times['ori'] / times['hybrid']:.2f} "
+          f"(paper Fig 11: consistently > 1)")
+    print("distributed product verified against local A @ B on both runs")
+
+
+if __name__ == "__main__":
+    main()

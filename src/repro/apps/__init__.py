@@ -1,0 +1,38 @@
+"""Application-level workloads from the paper's evaluation (§5.2).
+
+* :mod:`repro.apps.summa` — SUMMA distributed dense matrix multiply
+  (van de Geijn & Watts), in an ``Ori_`` (pure-MPI broadcast) and a
+  ``Hy_`` (hybrid MPI+MPI broadcast) variant — Fig 11.
+* :mod:`repro.apps.bpmf` — Bayesian Probabilistic Matrix Factorization
+  via Gibbs sampling (Salakhutdinov & Mnih; ExaScience distributed
+  variant), ``Ori_`` and ``Hy_`` allgather variants — Fig 12.
+* :mod:`repro.apps.datasets` — synthetic chembl_20-like sparse activity
+  matrix (the real dataset is not redistributable; the synthetic one
+  matches its dimensions/density so the communication pattern and
+  compute balance are preserved).
+* :mod:`repro.apps.stencil` — 2D Jacobi halo exchange in pure-MPI and
+  hybrid MPI+MPI (Hoefler et al. 2013 [10]) styles; an extra example
+  beyond the paper's evaluation.
+"""
+
+from repro.apps.bpmf import BPMFConfig, bpmf_program
+from repro.apps.datasets import SyntheticActivity, synthetic_chembl
+from repro.apps.matvec import MatvecConfig, power_iteration_program
+from repro.apps.stencil import StencilConfig, stencil_program
+from repro.apps.stencil2d import Stencil2DConfig, stencil2d_program
+from repro.apps.summa import SummaConfig, summa_program
+
+__all__ = [
+    "BPMFConfig",
+    "MatvecConfig",
+    "Stencil2DConfig",
+    "StencilConfig",
+    "SummaConfig",
+    "SyntheticActivity",
+    "bpmf_program",
+    "power_iteration_program",
+    "stencil2d_program",
+    "stencil_program",
+    "summa_program",
+    "synthetic_chembl",
+]

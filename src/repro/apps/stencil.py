@@ -1,0 +1,209 @@
+"""2D Jacobi stencil with halo exchange — pure-MPI vs hybrid MPI+MPI.
+
+This is the workload of Hoefler et al. 2013 ("MPI+MPI: a new hybrid
+approach…", the paper's [10]) that motivated hybrid MPI+MPI in the first
+place: a 5-point Jacobi iteration on a 1D-decomposed grid.
+
+* **pure** — every rank owns a private strip and sendrecv's one-row
+  halos with both neighbours each iteration (on-node neighbours pay
+  CICO copies).
+* **hybrid** — all strips of one node live in a single shared window;
+  on-node "halos" are plain loads from the neighbour's strip (no copy,
+  one barrier per iteration for integrity), and only the node-boundary
+  rows travel as messages between leader⁄edge ranks.
+
+The paper lists p2p experiences as future work (§7); this module is the
+reproduction's extra example beyond the paper's own evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.constants import PROC_NULL
+from repro.mpi.datatypes import Bytes
+
+__all__ = ["StencilConfig", "stencil_program"]
+
+
+@dataclass(frozen=True)
+class StencilConfig:
+    """Stencil run parameters.
+
+    Attributes
+    ----------
+    rows_per_rank:
+        Interior rows owned by each rank.
+    cols:
+        Grid width.
+    iterations:
+        Jacobi sweeps.
+    variant:
+        ``"pure"`` or ``"hybrid"``.
+    """
+
+    rows_per_rank: int = 64
+    cols: int = 256
+    iterations: int = 10
+    variant: str = "pure"
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("pure", "hybrid"):
+            raise ValueError("variant must be 'pure' or 'hybrid'")
+        if min(self.rows_per_rank, self.cols, self.iterations) < 1:
+            raise ValueError("dimensions and iterations must be >= 1")
+
+
+def _jacobi_sweep(interior: np.ndarray, up: np.ndarray | None,
+                  down: np.ndarray | None) -> np.ndarray:
+    """One 5-point Jacobi update of a strip given halo rows."""
+    rows, cols = interior.shape
+    padded = np.zeros((rows + 2, cols))
+    padded[1:-1] = interior
+    if up is not None:
+        padded[0] = up
+    if down is not None:
+        padded[-1] = down
+    out = interior.copy()
+    out[:, 1:-1] = 0.25 * (
+        padded[:-2, 1:-1]
+        + padded[2:, 1:-1]
+        + padded[1:-1, :-2]
+        + padded[1:-1, 2:]
+    )
+    return out
+
+
+def stencil_program(mpi, config: StencilConfig):
+    """Rank program running the Jacobi iteration; returns stats."""
+    comm = mpi.world
+    rank, size = comm.rank, comm.size
+    rows, cols = config.rows_per_rank, config.cols
+    row_bytes = cols * 8
+    data = mpi.data_mode
+    up_peer = rank - 1 if rank > 0 else PROC_NULL
+    down_peer = rank + 1 if rank < size - 1 else PROC_NULL
+
+    if config.variant == "pure":
+        strip = (
+            np.sin(np.arange(rows * cols, dtype=np.float64) + rank).reshape(
+                rows, cols
+            )
+            if data
+            else None
+        )
+        t0 = mpi.now
+        comm_time = 0.0
+        for _ in range(config.iterations):
+            tc = mpi.now
+            up_halo = down_halo = None
+            send_up = strip[0].copy() if data else Bytes(row_bytes)
+            send_down = strip[-1].copy() if data else Bytes(row_bytes)
+            got_up = yield from comm.sendrecv(
+                send_up, dest=up_peer, source=up_peer, sendtag=1, recvtag=2
+            )
+            got_down = yield from comm.sendrecv(
+                send_down, dest=down_peer, source=down_peer,
+                sendtag=2, recvtag=1,
+            )
+            if data:
+                up_halo = None if up_peer == PROC_NULL else np.asarray(got_up)
+                down_halo = (
+                    None if down_peer == PROC_NULL else np.asarray(got_down)
+                )
+            comm_time += mpi.now - tc
+            if data:
+                strip = _jacobi_sweep(strip, up_halo, down_halo)
+            yield mpi.compute_flops(rows * cols * 6.0, kind="blas1")
+        return {
+            "total": mpi.now - t0,
+            "comm": comm_time,
+            "checksum": float(strip.sum()) if data else None,
+        }
+
+    # ---- hybrid: node-shared strips -------------------------------------
+    from repro.core import HybridContext
+
+    ctx = yield from HybridContext.create(comm)
+    buf = yield from ctx.allgather_buffer(rows * row_bytes)
+    strip_view = buf.local_view(np.float64)
+    if strip_view is not None:
+        strip_view[:] = np.sin(
+            np.arange(rows * cols, dtype=np.float64) + rank
+        )
+    yield from ctx.shm.barrier()
+
+    placement = mpi.placement
+    my_node = mpi.node
+
+    def on_my_node(peer: int) -> bool:
+        if peer == PROC_NULL:
+            return False
+        return placement.node_of(comm.world_rank_of(peer)) == my_node
+
+    t0 = mpi.now
+    comm_time = 0.0
+    for _ in range(config.iterations):
+        strip = (
+            strip_view.reshape(rows, cols) if strip_view is not None else None
+        )
+        tc = mpi.now
+        up_halo = down_halo = None
+        # Off-node halos travel as messages; on-node ones are direct loads.
+        reqs = []
+        if up_peer != PROC_NULL and not on_my_node(up_peer):
+            reqs.append(
+                comm.isend(
+                    strip[0].copy() if data else Bytes(row_bytes), up_peer, 1
+                )
+            )
+            reqs.append(comm.irecv(source=up_peer, tag=2))
+        if down_peer != PROC_NULL and not on_my_node(down_peer):
+            reqs.append(
+                comm.isend(
+                    strip[-1].copy() if data else Bytes(row_bytes),
+                    down_peer, 2,
+                )
+            )
+            reqs.append(comm.irecv(source=down_peer, tag=1))
+        results = yield from comm.waitall(reqs)
+        recv_payloads = [r[0] for r in results if isinstance(r, tuple)]
+        ri = 0
+        if up_peer != PROC_NULL and not on_my_node(up_peer):
+            if data:
+                up_halo = np.asarray(recv_payloads[ri])
+            ri += 1
+        if down_peer != PROC_NULL and not on_my_node(down_peer):
+            if data:
+                down_halo = np.asarray(recv_payloads[ri])
+            ri += 1
+        # On-node halos: read the neighbour's boundary row in place.
+        if on_my_node(up_peer):
+            yield from mpi.touch(row_bytes)
+            if data:
+                up_halo = buf.slot_view(up_peer, np.float64).reshape(
+                    rows, cols
+                )[-1]
+        if on_my_node(down_peer):
+            yield from mpi.touch(row_bytes)
+            if data:
+                down_halo = buf.slot_view(down_peer, np.float64).reshape(
+                    rows, cols
+                )[0]
+        comm_time += mpi.now - tc
+        if data:
+            new_strip = _jacobi_sweep(strip, up_halo, down_halo)
+        yield mpi.compute_flops(rows * cols * 6.0, kind="blas1")
+        # Integrity barrier before anyone overwrites shared rows the
+        # neighbours may still be reading.
+        yield from ctx.shm.barrier()
+        if data:
+            strip_view[:] = new_strip.reshape(-1)
+        yield from ctx.shm.barrier()
+    return {
+        "total": mpi.now - t0,
+        "comm": comm_time,
+        "checksum": float(strip_view.sum()) if strip_view is not None else None,
+    }

@@ -1,0 +1,203 @@
+"""2D-decomposed Jacobi stencil on a Cartesian process grid.
+
+Extends :mod:`repro.apps.stencil` (1D strips) to a full 2D domain
+decomposition using :mod:`repro.mpi.cart`: each rank owns a tile, halo
+rows/columns are exchanged with all four neighbours.  In the hybrid
+variant the tiles of one node live in a node-shared window so on-node
+halos are plain loads; only node-boundary halos become messages.
+
+This is the canonical "MPI+MPI point-to-point" pattern of Hoefler et
+al. [10] in its full 2D form, and exercises the Cartesian communicator,
+``PROC_NULL`` boundaries, and the shared-buffer slot views together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.cart import cart_create, dims_create
+from repro.mpi.constants import PROC_NULL
+from repro.mpi.datatypes import Bytes
+from repro.simulator import AllOf
+
+__all__ = ["Stencil2DConfig", "stencil2d_program"]
+
+
+@dataclass(frozen=True)
+class Stencil2DConfig:
+    """2D stencil run parameters.
+
+    Attributes
+    ----------
+    tile:
+        Edge length of each rank's square tile.
+    iterations:
+        Jacobi sweeps.
+    variant:
+        ``"pure"`` (all halos are messages) or ``"hybrid"`` (on-node
+        halos are shared-memory loads).
+    """
+
+    tile: int = 32
+    iterations: int = 4
+    variant: str = "pure"
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("pure", "hybrid"):
+            raise ValueError("variant must be 'pure' or 'hybrid'")
+        if self.tile < 1 or self.iterations < 1:
+            raise ValueError("tile and iterations must be >= 1")
+
+
+def _sweep(tile: np.ndarray, up, down, left, right) -> np.ndarray:
+    """5-point Jacobi update of one tile with optional halo vectors."""
+    n, m = tile.shape
+    padded = np.zeros((n + 2, m + 2))
+    padded[1:-1, 1:-1] = tile
+    if up is not None:
+        padded[0, 1:-1] = up
+    if down is not None:
+        padded[-1, 1:-1] = down
+    if left is not None:
+        padded[1:-1, 0] = left
+    if right is not None:
+        padded[1:-1, -1] = right
+    return 0.25 * (
+        padded[:-2, 1:-1]
+        + padded[2:, 1:-1]
+        + padded[1:-1, :-2]
+        + padded[1:-1, 2:]
+    )
+
+
+def stencil2d_program(mpi, config: Stencil2DConfig):
+    """Rank program; returns {'total', 'comm', 'checksum'}."""
+    comm = mpi.world
+    dims = dims_create(comm.size, 2)
+    cart = cart_create(comm, tuple(dims))
+    t = config.tile
+    row_bytes = t * 8
+    data = mpi.data_mode
+
+    up_src, up_dst = cart.shift(0, -1)      # neighbour above = dst
+    down_src, down_dst = cart.shift(0, +1)
+    left_src, left_dst = cart.shift(1, -1)
+    right_src, right_dst = cart.shift(1, +1)
+    up_peer, down_peer = up_dst, down_dst
+    left_peer, right_peer = left_dst, right_dst
+
+    if data:
+        tile = np.sin(
+            np.arange(t * t, dtype=np.float64) * 0.37 + comm.rank
+        ).reshape(t, t)
+    else:
+        tile = None
+
+    hybrid_ctx = buf = None
+    if config.variant == "hybrid":
+        from repro.core import HybridContext
+
+        hybrid_ctx = yield from HybridContext.create(comm)
+        buf = yield from hybrid_ctx.allgather_buffer(t * t * 8)
+        view = buf.local_view(np.float64)
+        if view is not None:
+            view[:] = tile.reshape(-1)
+        yield from hybrid_ctx.shm.barrier()
+
+    placement = mpi.placement
+
+    def on_node(peer: int) -> bool:
+        if peer == PROC_NULL:
+            return False
+        return placement.node_of(comm.world_rank_of(peer)) == mpi.node
+
+    def peer_tile(peer: int) -> np.ndarray | None:
+        seg = buf.slot_view(peer, np.float64)
+        return None if seg is None else seg.reshape(t, t)
+
+    t0 = mpi.now
+    comm_time = 0.0
+    for _ in range(config.iterations):
+        if config.variant == "hybrid" and buf is not None:
+            view = buf.local_view(np.float64)
+            tile_now = view.reshape(t, t) if view is not None else None
+        else:
+            tile_now = tile
+        tc = mpi.now
+        halos = {"up": None, "down": None, "left": None, "right": None}
+        reqs = []
+        plan = []  # (halo key, peer)
+        for key, peer, mine in (
+            ("up", up_peer, 0), ("down", down_peer, -1),
+        ):
+            if peer == PROC_NULL:
+                continue
+            if config.variant == "hybrid" and on_node(peer):
+                yield from mpi.touch(row_bytes)
+                if data:
+                    other = peer_tile(peer)
+                    halos[key] = other[-1] if key == "up" else other[0]
+                continue
+            payload = (
+                tile_now[mine].copy() if data else Bytes(row_bytes)
+            )
+            reqs.append(comm.isend(payload, peer, tag=10 + mine % 2))
+            reqs.append(comm.irecv(source=peer, tag=10 + (mine + 1) % 2))
+            plan.append((key, peer))
+        for key, peer, col in (
+            ("left", left_peer, 0), ("right", right_peer, -1),
+        ):
+            if peer == PROC_NULL:
+                continue
+            if config.variant == "hybrid" and on_node(peer):
+                yield from mpi.touch(row_bytes)
+                if data:
+                    other = peer_tile(peer)
+                    halos[key] = (
+                        other[:, -1] if key == "left" else other[:, 0]
+                    )
+                continue
+            payload = (
+                tile_now[:, col].copy() if data else Bytes(row_bytes)
+            )
+            reqs.append(comm.isend(payload, peer, tag=20 + col % 2))
+            reqs.append(comm.irecv(source=peer, tag=20 + (col + 1) % 2))
+            plan.append((key, peer))
+        if reqs:
+            results = yield AllOf([r.event for r in reqs])
+            received = [r[0] for r in results if isinstance(r, tuple)]
+            for (key, _peer), payload in zip(plan, received):
+                if data:
+                    halos[key] = np.asarray(payload).reshape(-1)
+        comm_time += mpi.now - tc
+
+        if data:
+            new_tile = _sweep(
+                tile_now, halos["up"], halos["down"],
+                halos["left"], halos["right"],
+            )
+        yield mpi.compute_flops(t * t * 6.0, kind="blas1")
+
+        if config.variant == "hybrid":
+            yield from hybrid_ctx.shm.barrier()
+            if data:
+                buf.local_view(np.float64)[:] = new_tile.reshape(-1)
+            yield from hybrid_ctx.shm.barrier()
+        else:
+            if data:
+                tile = new_tile
+
+    if config.variant == "hybrid" and data:
+        checksum = float(buf.local_view(np.float64).sum())
+    elif data:
+        checksum = float(tile.sum())
+    else:
+        checksum = None
+    return {
+        "total": mpi.now - t0,
+        "comm": comm_time,
+        "checksum": checksum,
+        "dims": tuple(dims),
+    }

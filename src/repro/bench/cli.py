@@ -1,0 +1,98 @@
+"""Command-line entry point: regenerate paper figures as text tables.
+
+Examples::
+
+    repro-bench --list
+    repro-bench --figure fig7
+    repro-bench --figure fig9a --mode paper
+    repro-bench --all --mode quick --out results.txt
+    python -m repro.bench --figure fig12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import FIGURES, get_figure
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the tables/figures of 'MPI Collectives for "
+            "Multi-core Clusters' (ICPP'19) on the simulated clusters."
+        ),
+    )
+    parser.add_argument(
+        "--figure", "-f",
+        help="figure id to run (see --list)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every figure"
+    )
+    parser.add_argument(
+        "--mode", choices=("quick", "paper"), default="quick",
+        help="sweep size: quick (reduced, default) or paper (full grid)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list known figure ids"
+    )
+    parser.add_argument(
+        "--out", help="append rendered tables to this file"
+    )
+    parser.add_argument(
+        "--report",
+        help="write an EXPERIMENTS-style markdown report to this file",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        width = max(len(k) for k in FIGURES)
+        for fid in sorted(FIGURES):
+            fig = FIGURES[fid]
+            print(f"{fid.ljust(width)}  {fig.title}")
+        return 0
+    if not args.figure and not args.all:
+        print("nothing to do: pass --figure <id>, --all, or --list",
+              file=sys.stderr)
+        return 2
+    ids = sorted(FIGURES) if args.all else [args.figure]
+    outputs = []
+    report_pairs = []
+    for fid in ids:
+        try:
+            figure = get_figure(fid)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        result = figure.run(mode=args.mode, progress=not args.quiet)
+        text = result.render()
+        print(text)
+        print(f"(wall time {result.wall_seconds:.1f}s)\n")
+        outputs.append(text)
+        report_pairs.append((result, figure.paper_claim))
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as fh:
+            for text in outputs:
+                fh.write(text + "\n\n")
+    if args.report:
+        from repro.bench.report import render_report
+
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(render_report(report_pairs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Figure/table runner: sweep definitions and text rendering.
+
+A :class:`Figure` bundles a parameter sweep (per mode: quick/paper) with
+a point-measurement function; :func:`run_figure` executes the sweep and
+returns a :class:`FigureResult` whose rows regenerate the series of the
+paper's plot.  ``result.render()`` prints an aligned table like::
+
+    Fig 7 — single-node allgather latency (us)
+    elements   Hy+cray   Allgather+cray   Hy+ompi   Allgather+ompi
+    1          0.90      3.47             1.20      3.77
+    ...
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Figure", "FigureResult", "run_figure", "format_table"]
+
+
+@dataclass
+class FigureResult:
+    """Outcome of one figure regeneration."""
+
+    figure_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict]
+    mode: str
+    wall_seconds: float
+    notes: str = ""
+
+    def render(self) -> str:
+        """Aligned plain-text table of the figure's series."""
+        header = f"{self.title}  [mode={self.mode}]"
+        table = format_table(self.columns, self.rows)
+        tail = f"\n{self.notes}" if self.notes else ""
+        return f"{header}\n{table}{tail}"
+
+    def series(self, column: str) -> list[Any]:
+        """One column as a list (row order)."""
+        return [row.get(column) for row in self.rows]
+
+
+def format_table(columns: list[str], rows: list[dict]) -> str:
+    """Align *rows* under *columns*; floats rendered sensibly."""
+
+    def fmt(v: Any) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000:
+                return f"{v:.0f}"
+            if abs(v) >= 1:
+                return f"{v:.2f}"
+            return f"{v:.4f}"
+        return str(v)
+
+    rendered = [[fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) if rendered else len(c)
+        for i, c in enumerate(columns)
+    ]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(columns, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Figure:
+    """A regenerable paper artifact.
+
+    Attributes
+    ----------
+    figure_id:
+        Stable identifier (``fig7``, ``fig11a``, ``abl_sync``, …).
+    title:
+        Human title matching the paper's caption.
+    paper_claim:
+        One-sentence statement of the shape the paper reports (asserted
+        loosely by the benchmark suite).
+    sweep:
+        ``sweep(mode)`` → list of point dicts.
+    measure:
+        ``measure(point, mode)`` → row dict (merged with the point).
+    columns:
+        Render order of row keys.
+    """
+
+    figure_id: str
+    title: str
+    paper_claim: str
+    sweep: Callable[[str], list[dict]]
+    measure: Callable[[dict, str], dict]
+    columns: list[str] = field(default_factory=list)
+    notes: str = ""
+
+    def run(self, mode: str = "quick", progress: bool = False) -> FigureResult:
+        """Execute the sweep; returns the populated result."""
+        if mode not in ("quick", "paper"):
+            raise ValueError("mode must be 'quick' or 'paper'")
+        t0 = time.time()
+        rows = []
+        points = self.sweep(mode)
+        for i, point in enumerate(points):
+            if progress:
+                print(
+                    f"[{self.figure_id}] point {i + 1}/{len(points)}: {point}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            row = dict(point)
+            row.update(self.measure(point, mode))
+            rows.append(row)
+        return FigureResult(
+            figure_id=self.figure_id,
+            title=self.title,
+            columns=self.columns or (list(rows[0]) if rows else []),
+            rows=rows,
+            mode=mode,
+            wall_seconds=time.time() - t0,
+            notes=self.notes,
+        )
+
+
+def run_figure(figure_id: str, mode: str = "quick",
+               progress: bool = False) -> FigureResult:
+    """Look up and run a figure by id (see :data:`repro.bench.FIGURES`)."""
+    from repro.bench.figures import get_figure
+
+    return get_figure(figure_id).run(mode=mode, progress=progress)

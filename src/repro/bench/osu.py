@@ -1,0 +1,128 @@
+"""OSU-micro-benchmark-style latency measurement (paper §5).
+
+The paper's micro experiments are "modified from the OSU benchmark and
+averaged over 10000 executions": warm-up iterations, then a barrier-
+delimited timed loop, reporting the mean per-operation latency of the
+slowest rank.  The simulator is deterministic, so a handful of timed
+repetitions converges exactly; we keep the warm-up because the first
+iteration includes one-off costs (window allocation, hierarchy splits)
+the paper explicitly excludes from timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core import HybridContext, SyncPolicy
+from repro.machine.model import MachineSpec
+from repro.machine.placement import Placement
+from repro.mpi import run_program
+from repro.mpi.datatypes import Bytes
+
+__all__ = [
+    "osu_latency_program",
+    "osu_allgather_latency",
+    "hybrid_allgather_program",
+    "pure_allgather_program",
+]
+
+#: Timed repetitions.  The engine is deterministic, so one repetition
+#: equals the mean of the paper's 10000; the warm-up still matters (it
+#: absorbs the one-off hierarchy/window setup the paper excludes).
+DEFAULT_REPS = 1
+#: Warm-up repetitions excluded from timing (one-off setup amortization).
+DEFAULT_WARMUP = 1
+
+
+def osu_latency_program(mpi, op: Callable, reps: int = DEFAULT_REPS,
+                        warmup: int = DEFAULT_WARMUP):
+    """Rank program: time ``op(mpi)`` with the OSU protocol.
+
+    *op* is a coroutine function taking the rank context.  Returns the
+    mean per-operation latency on this rank.
+    """
+    comm = mpi.world
+    for _ in range(warmup):
+        yield from op(mpi)
+    yield from comm.barrier()
+    t0 = mpi.now
+    for _ in range(reps):
+        yield from op(mpi)
+    elapsed = mpi.now - t0
+    return elapsed / reps
+
+
+def hybrid_allgather_program(mpi, nbytes_per_rank: int,
+                             reps: int = DEFAULT_REPS,
+                             warmup: int = DEFAULT_WARMUP,
+                             sync: SyncPolicy | None = None,
+                             pipelined: bool = False,
+                             chunk_bytes: int = 128 * 1024,
+                             pack_datatypes: bool = False):
+    """Rank program measuring the paper's Hy_Allgather latency."""
+    ctx = yield from HybridContext.create(mpi.world)
+    if sync is not None:
+        ctx.default_sync = sync
+    buf = yield from ctx.allgather_buffer(nbytes_per_rank)
+
+    def op(_mpi):
+        yield from ctx.allgather(
+            buf, pipelined=pipelined, chunk_bytes=chunk_bytes,
+            pack_datatypes=pack_datatypes,
+        )
+
+    latency = yield from osu_latency_program(mpi, op, reps, warmup)
+    return latency
+
+
+def pure_allgather_program(mpi, nbytes_per_rank: int,
+                           reps: int = DEFAULT_REPS,
+                           warmup: int = DEFAULT_WARMUP,
+                           irregular: bool = False):
+    """Rank program measuring the naive pure-MPI Allgather latency."""
+    payload = (
+        mpi.payload(nbytes_per_rank)
+        if mpi.data_mode
+        else Bytes(nbytes_per_rank)
+    )
+
+    def op(_mpi):
+        if irregular:
+            yield from mpi.world.allgatherv(payload)
+        else:
+            yield from mpi.world.allgather(payload)
+
+    latency = yield from osu_latency_program(mpi, op, reps, warmup)
+    return latency
+
+
+def osu_allgather_latency(
+    spec: MachineSpec,
+    placement: Placement,
+    nbytes_per_rank: int,
+    variant: str,
+    reps: int = DEFAULT_REPS,
+    **options: Any,
+) -> float:
+    """Measure one (machine, placement, size, variant) point.
+
+    *variant* is ``"hybrid"`` or ``"pure"``.  Returns the slowest rank's
+    mean latency in seconds (model payload mode).
+    """
+    if variant == "hybrid":
+        program, kwargs = hybrid_allgather_program, {
+            "nbytes_per_rank": nbytes_per_rank, "reps": reps, **options,
+        }
+    elif variant == "pure":
+        program, kwargs = pure_allgather_program, {
+            "nbytes_per_rank": nbytes_per_rank, "reps": reps, **options,
+        }
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    result = run_program(
+        spec, None, program,
+        placement=placement,
+        payload_mode="model",
+        program_kwargs=kwargs,
+    )
+    return max(result.returns)

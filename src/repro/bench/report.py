@@ -1,0 +1,308 @@
+"""Experiment report generation (EXPERIMENTS.md writer).
+
+Converts :class:`~repro.bench.harness.FigureResult` objects into the
+markdown sections of EXPERIMENTS.md: the measured table, the paper's
+claimed shape, and an automatic verdict on whether the measured series
+matches the claim.  Keeping the document generated from actual runs
+prevents the classic reproduction failure of a hand-written results
+section drifting from the code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.harness import FigureResult
+
+__all__ = ["ShapeCheck", "figure_section", "render_report", "SHAPE_CHECKS"]
+
+
+class ShapeCheck:
+    """A named predicate over a figure's rows, with explanation."""
+
+    def __init__(self, description: str,
+                 predicate: Callable[[FigureResult], bool]):
+        self.description = description
+        self.predicate = predicate
+
+    def verdict(self, result: FigureResult) -> tuple[bool, str]:
+        try:
+            ok = bool(self.predicate(result))
+        except Exception as exc:  # noqa: BLE001 - verdicts must not crash
+            return False, f"check errored: {exc!r}"
+        return ok, self.description
+
+
+def _cols(result: FigureResult, prefix: str) -> list[str]:
+    return [c for c in result.columns if c.startswith(prefix)]
+
+
+def _ratio_cols(result: FigureResult) -> list[str]:
+    return [c for c in result.columns if c.startswith("ratio")]
+
+
+def _check_fig7(result: FigureResult) -> bool:
+    ok = True
+    for flavour in ("cray", "ompi"):
+        hy = result.series(f"hy_{flavour}_us")
+        pure = result.series(f"allgather_{flavour}_us")
+        ok &= all(h < p for h, p in zip(hy, pure))
+        ok &= max(hy) <= 3.0 * min(hy)
+        ok &= pure[-1] > 50 * pure[0]
+    return ok
+
+
+def _check_fig8(result: FigureResult) -> bool:
+    ok = True
+    for col in _cols(result, "hy_"):
+        nodes = col.split("_")[1]
+        pure = result.series(f"allgather_{nodes}_us")
+        hy = result.series(col)
+        ok &= all(h >= 0.95 * p for h, p in zip(hy, pure))
+        ok &= hy[-1] <= 1.25 * pure[-1]
+    return ok
+
+
+def _check_fig9(result: FigureResult) -> bool:
+    ok = True
+    for col in _ratio_cols(result):
+        ratios = result.series(col)
+        ok &= all(r > 1.0 for r in ratios)
+        # Growing trend, tolerating small algorithm-threshold cliffs
+        # (one step may dip by up to 5%).
+        running_max = ratios[0]
+        for r in ratios[1:]:
+            ok &= r >= 0.95 * running_max
+            running_max = max(running_max, r)
+        ok &= ratios[-1] > 1.5 * ratios[0]
+    return ok
+
+
+def _check_fig10(result: FigureResult) -> bool:
+    return all(
+        r > 1.0 for col in _ratio_cols(result) for r in result.series(col)
+    )
+
+
+def _check_fig11(result: FigureResult) -> bool:
+    ratios = result.series("ratio")
+    return all(r > 0.95 for r in ratios) and max(ratios) > 1.1
+
+
+def _check_fig12(result: FigureResult) -> bool:
+    ratios = result.series("ratio")
+    return (
+        all(r > 1.0 for r in ratios)
+        and ratios == sorted(ratios)
+        and ratios[0] < 1.1
+    )
+
+
+def _check_abl_sync(result: FigureResult) -> bool:
+    return all(s >= 0.99 for s in result.series("speedup"))
+
+
+def _check_abl_pipeline(result: FigureResult) -> bool:
+    return all(s > 1.3 for s in result.series("speedup"))
+
+
+def _check_abl_placement(result: FigureResult) -> bool:
+    return all(p > 1.0 for p in result.series("packing_penalty"))
+
+
+def _check_abl_noise(result: FigureResult) -> bool:
+    ratios = result.series("ratio")
+    return all(r > 1.0 for r in ratios)
+
+
+def _check_ext_scaling(result: FigureResult) -> bool:
+    return all(r > 1.0 for r in result.series("ratio"))
+
+
+def _check_abl_multileader(result: FigureResult) -> bool:
+    return all(
+        row["hy_us"] < min(row["leaders1_us"], row["leaders2_us"],
+                           row["leaders4_us"])
+        for row in result.rows
+    )
+
+
+#: Figure id → the shape assertion EXPERIMENTS.md reports on.
+SHAPE_CHECKS: dict[str, ShapeCheck] = {
+    "fig7": ShapeCheck(
+        "Hy flat & always faster; pure grows steadily", _check_fig7
+    ),
+    "fig8a": ShapeCheck(
+        "Hy slightly slower with 1 rank/node; gap small at large sizes",
+        _check_fig8,
+    ),
+    "fig8b": ShapeCheck(
+        "Hy slightly slower with 1 rank/node; gap small at large sizes",
+        _check_fig8,
+    ),
+    "fig9a": ShapeCheck(
+        "ratio > 1 and monotonically growing with ppn", _check_fig9
+    ),
+    "fig9b": ShapeCheck(
+        "ratio > 1 and monotonically growing with ppn", _check_fig9
+    ),
+    "fig10": ShapeCheck("Hy wins at every size (irregular)", _check_fig10),
+    "fig11a": ShapeCheck("ratio ≳ 1 everywhere, clear wins", _check_fig11),
+    "fig11b": ShapeCheck("ratio ≳ 1 everywhere, clear wins", _check_fig11),
+    "fig11c": ShapeCheck("ratio ≳ 1 everywhere, clear wins", _check_fig11),
+    "fig11d": ShapeCheck("ratio ≳ 1 everywhere, clear wins", _check_fig11),
+    "fig12": ShapeCheck(
+        "ratio > 1, slowly rising, modest at 24 cores", _check_fig12
+    ),
+    "abl_sync": ShapeCheck("flags never slower than barrier", _check_abl_sync),
+    "abl_pipeline": ShapeCheck(
+        "pipelining wins on skewed blocks", _check_abl_pipeline
+    ),
+    "abl_placement": ShapeCheck(
+        "datatype packing always penalized", _check_abl_placement
+    ),
+    "abl_multileader": ShapeCheck(
+        "hybrid beats every leader count", _check_abl_multileader
+    ),
+    "abl_noise": ShapeCheck(
+        "hybrid advantage survives injected noise", _check_abl_noise
+    ),
+    "ext_weak_scaling": ShapeCheck(
+        "advantage sustained under weak scaling", _check_ext_scaling
+    ),
+    "ext_strong_scaling": ShapeCheck(
+        "advantage persists under strong scaling", _check_ext_scaling
+    ),
+}
+
+
+def figure_section(result: FigureResult, paper_claim: str) -> str:
+    """One markdown section: claim, verdict, measured table."""
+    check = SHAPE_CHECKS.get(result.figure_id)
+    if check is None:
+        verdict_line = "_no automated shape check registered_"
+    else:
+        ok, description = check.verdict(result)
+        status = "**REPRODUCED**" if ok else "**NOT REPRODUCED**"
+        verdict_line = f"{status} — checked: {description}"
+    table = _markdown_table(result)
+    return (
+        f"### {result.title}\n\n"
+        f"*Paper claim:* {paper_claim}\n\n"
+        f"*Verdict ({result.mode} grid):* {verdict_line}\n\n"
+        f"{table}\n"
+    )
+
+
+def _markdown_table(result: FigureResult) -> str:
+    cols = result.columns
+
+    def fmt(v) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            if abs(v) >= 1000:
+                return f"{v:.0f}"
+            if abs(v) >= 1:
+                return f"{v:.2f}"
+            return f"{v:.4f}"
+        return str(v)
+
+    lines = ["| " + " | ".join(cols) + " |",
+             "|" + "|".join("---" for _ in cols) + "|"]
+    for row in result.rows:
+        lines.append(
+            "| " + " | ".join(fmt(row.get(c)) for c in cols) + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_report(results: list[tuple[FigureResult, str]],
+                  header: str = "") -> str:
+    """Full EXPERIMENTS.md body from (result, paper_claim) pairs."""
+    parts = [header] if header else []
+    for result, claim in results:
+        parts.append(figure_section(result, claim))
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip: reload rendered tables from a saved benchmark run
+# ---------------------------------------------------------------------------
+
+def parse_rendered(text: str) -> list[FigureResult]:
+    """Parse ``FigureResult.render()`` output back into result objects.
+
+    Lets reports be regenerated from a saved ``repro-bench --out`` file
+    without re-running hours of sweeps.  Figure ids are recovered by
+    matching titles against the registry.
+    """
+    from repro.bench.figures import FIGURES
+
+    title_to_id = {fig.title: fid for fid, fig in FIGURES.items()}
+    results: list[FigureResult] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if "[mode=" in line:
+            title = line[: line.index("[mode=")].strip()
+            mode = line.split("[mode=")[1].rstrip("]").strip(" ]")
+            header = lines[i + 1].rstrip()
+            columns = header.split()
+            # Column start offsets from the header layout (columns are
+            # left-aligned and padded with >= 2 spaces).
+            starts = []
+            pos = 0
+            for col in columns:
+                pos = header.index(col, pos)
+                starts.append(pos)
+                pos += len(col)
+            rows = []
+            j = i + 3  # skip header + dashes
+            while j < len(lines) and lines[j].strip() and not lines[
+                j
+            ].startswith("("):
+                raw = lines[j]
+                row: dict = {}
+                for k, col in enumerate(columns):
+                    lo = starts[k]
+                    hi = starts[k + 1] if k + 1 < len(columns) else len(raw)
+                    cell = raw[lo:hi].strip()
+                    row[col] = _parse_cell(cell)
+                first = row[columns[0]]
+                if isinstance(first, str):
+                    break  # a trailing notes line, not a data row
+                rows.append(row)
+                j += 1
+            results.append(
+                FigureResult(
+                    figure_id=title_to_id.get(title, title),
+                    title=title,
+                    columns=columns,
+                    rows=rows,
+                    mode=mode,
+                    wall_seconds=0.0,
+                )
+            )
+            i = j
+        else:
+            i += 1
+    return results
+
+
+def _parse_cell(cell: str):
+    if cell in ("-", ""):
+        return None
+    try:
+        if "." in cell or "e" in cell or "E" in cell:
+            return float(cell)
+        return int(cell)
+    except ValueError:
+        return cell
+
+
+def load_results(path: str) -> list[FigureResult]:
+    """Parse every figure table from a saved benchmark output file."""
+    with open(path, encoding="utf-8") as fh:
+        return parse_rendered(fh.read())

@@ -1,0 +1,108 @@
+"""Hybrid allgather / allgatherv (paper §4.1, Fig 3b and Fig 4).
+
+The data to be gathered lives in a node-shared :class:`SharedBuffer`;
+each rank has already stored its contribution through its local pointer
+(``buf.local_view()``).  The operation is then:
+
+* **multi-node** — pre-sync (children publish their partitions), leaders
+  run ``MPI_Allgatherv`` of contiguous *node blocks* on the bridge
+  communicator, post-sync (children wait for the exchanged data);
+* **single node** — one sync; the shared buffer is already the result.
+
+No on-node aggregation or broadcast stages exist — those intra-node
+copies are exactly what the pure-MPI baseline pays and the hybrid
+approach removes.
+
+The bridge exchange may optionally use the chunked pipelined ring of
+:mod:`repro.core.pipeline` for very large node blocks (paper §7, [30]).
+"""
+
+from __future__ import annotations
+
+from repro.core.shared_buffer import SharedBuffer
+from repro.core.sync import SyncPolicy
+
+__all__ = ["hy_allgather", "hy_allgatherv"]
+
+
+def hy_allgather(
+    ctx,
+    buf: SharedBuffer,
+    sync: SyncPolicy | None = None,
+    pipelined: bool = False,
+    chunk_bytes: int = 128 * 1024,
+    pack_datatypes: bool = False,
+):
+    """Coroutine: hybrid allgather over *buf* (regular or irregular alike
+    — the bridge exchange is always the v-variant, as in Fig 4 line 26).
+
+    After completion every rank on every node can read the full result
+    from ``buf.node_view()`` with plain loads.
+
+    ``pack_datatypes`` selects the §6 *derived-datatype* fallback for
+    non-SMP rank placements: instead of the node-sorted buffer layout,
+    the leader packs its node's (conceptually non-contiguous) blocks
+    before sending and unpacks received data into rank order, paying the
+    per-byte packing cost the paper warns about.  With the default
+    node-sorted layout no packing is ever needed.
+    """
+    sync = sync or ctx.default_sync
+    if not ctx.multi_node:
+        # Fig 4 lines 29-30 / 37-38: single node → a single barrier makes
+        # the buffer consistent.
+        yield from sync.single(ctx)
+        return
+
+    # Fig 4 line 25 / 34: every on-node rank enters the pre-sync; leaders
+    # thereby observe all partitions initialized.
+    yield from sync.pre_exchange(ctx)
+
+    if ctx.is_leader:
+        payload = buf.node_payload()
+        if pack_datatypes and not ctx.layout.is_identity:
+            # Pack my node's blocks (one pass) before the exchange.
+            per_byte = ctx.comm.ctx.machine.spec.network.per_byte_packing
+            _off, mine = buf.my_node_region
+            yield ctx.comm.ctx.engine.timeout(per_byte * mine)
+        if pipelined:
+            from repro.core.pipeline import pipelined_ring_allgatherv
+
+            blocks = yield from pipelined_ring_allgatherv(
+                ctx.bridge, payload, chunk_bytes=chunk_bytes
+            )
+        else:
+            blocks = yield from ctx.bridge.allgatherv(payload)
+        # Write-back: received node blocks land at their regions (in the
+        # real code the window *is* the recvbuf; this is bookkeeping).
+        received = 0
+        for bridge_rank, block in enumerate(blocks):
+            node = ctx.node_of_bridge_rank(bridge_rank)
+            if node == ctx.node:
+                continue
+            offset, nbytes = buf.node_region(node)
+            received += nbytes
+            buf.write_region(offset, block)
+        if pack_datatypes and not ctx.layout.is_identity:
+            # Unpack everything received into rank order (one pass).
+            per_byte = ctx.comm.ctx.machine.spec.network.per_byte_packing
+            yield ctx.comm.ctx.engine.timeout(per_byte * received)
+
+    # Fig 4 line 27 / 35: children wait until leaders finished exchanging.
+    yield from sync.post_exchange(ctx)
+
+
+def hy_allgatherv(
+    ctx,
+    buf: SharedBuffer,
+    sync: SyncPolicy | None = None,
+    pipelined: bool = False,
+    chunk_bytes: int = 128 * 1024,
+):
+    """Coroutine: hybrid irregular allgather.
+
+    Identical control flow to :func:`hy_allgather` — the irregularity is
+    entirely captured by the buffer's per-slot sizes (built with
+    :meth:`HybridContext.allgatherv_buffer`)."""
+    yield from hy_allgather(
+        ctx, buf, sync=sync, pipelined=pipelined, chunk_bytes=chunk_bytes
+    )

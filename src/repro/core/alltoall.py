@@ -1,0 +1,153 @@
+"""Hybrid all-to-all — extension in the paper's style.
+
+The node-shared window holds an *outgoing* matrix (each on-node rank
+writes one block per destination rank) and an *incoming* matrix (one
+block per source rank for each on-node rank).  Leaders exchange
+node-pair super-blocks pairwise on the bridge: the message from node A
+to node B carries the ``ppn_A × ppn_B`` blocks in one transfer, so the
+wire sees ``nodes²`` large messages instead of ``P²`` small ones, and
+on-node traffic is plain shared-memory stores/loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sync import SyncPolicy
+from repro.mpi.datatypes import Bytes
+from repro.simulator import AllOf
+
+__all__ = ["hy_alltoall", "AlltoallBuffers"]
+
+
+class AlltoallBuffers:
+    """Paired outgoing/incoming shared buffers for hybrid all-to-all.
+
+    Created via :func:`alloc_alltoall_buffers`.  Block (i, j) of the
+    outgoing matrix is rank i's message to comm rank j; block (j, i) of
+    the incoming matrix is what rank i received from comm rank j.
+    """
+
+    __slots__ = ("out_win", "in_win", "block", "ctx")
+
+    def __init__(self, out_win, in_win, block: int, ctx):
+        self.out_win = out_win
+        self.in_win = in_win
+        self.block = block
+        self.ctx = ctx
+
+    def _matrix(self, win) -> np.ndarray | None:
+        raw = win.whole(np.uint8)
+        if raw is None:
+            return None
+        size = self.ctx.comm.size
+        ppn = self.ctx.shm.size
+        return raw.reshape(ppn, size, self.block)
+
+    def out_matrix(self) -> np.ndarray | None:
+        """(ppn, comm_size, block) outgoing view — row = on-node rank."""
+        return self._matrix(self.out_win)
+
+    def in_matrix(self) -> np.ndarray | None:
+        """(ppn, comm_size, block) incoming view — row = on-node rank."""
+        return self._matrix(self.in_win)
+
+    def my_out_row(self) -> np.ndarray | None:
+        """This rank's outgoing blocks (comm_size, block)."""
+        m = self.out_matrix()
+        return None if m is None else m[self.ctx.shm.rank]
+
+    def my_in_row(self) -> np.ndarray | None:
+        """This rank's received blocks (comm_size, block)."""
+        m = self.in_matrix()
+        return None if m is None else m[self.ctx.shm.rank]
+
+
+def alloc_alltoall_buffers(ctx, block_bytes: int):
+    """Coroutine: allocate the all-to-all window pair (one-off)."""
+    from repro.mpi.shm import win_allocate_shared
+
+    ppn = ctx.shm.size
+    size = ctx.comm.size
+    total = ppn * size * block_bytes
+    out_win = yield from win_allocate_shared(
+        ctx.shm, total if ctx.is_leader else 0
+    )
+    in_win = yield from win_allocate_shared(
+        ctx.shm, total if ctx.is_leader else 0
+    )
+    return AlltoallBuffers(out_win, in_win, block_bytes, ctx)
+
+
+def hy_alltoall(ctx, bufs: AlltoallBuffers, sync: SyncPolicy | None = None):
+    """Coroutine: hybrid all-to-all over pre-filled outgoing buffers.
+
+    Every rank must have written its outgoing row
+    (``bufs.my_out_row()``).  After completion each rank reads its
+    incoming row (``bufs.my_in_row()``).
+    """
+    sync = sync or ctx.default_sync
+    comm = ctx.comm
+    block = bufs.block
+    yield from sync.pre_exchange(ctx)
+    if ctx.is_leader:
+        placement = comm.ctx.placement
+        my_node = ctx.node
+        out = bufs.out_matrix()
+        inc = bufs.in_matrix()
+        nodes = ctx.layout.nodes
+        # Local (same-node) blocks: copy out→in within shared memory.
+        my_ranks = [
+            comm.group.rank_of(w)
+            for w in comm.group.world_ranks()
+            if placement.node_of(w) == my_node
+        ]
+        if out is not None:
+            for si, src in enumerate(my_ranks):
+                for di, dst in enumerate(my_ranks):
+                    inc[di, src] = out[si, dst]
+        yield from comm.ctx.touch(len(my_ranks) * len(my_ranks) * block)
+        # Remote node-pair super-blocks, pairwise schedule.
+        reqs = []
+        for peer_bridge in range(ctx.bridge.size):
+            peer_node = ctx.node_of_bridge_rank(peer_bridge)
+            if peer_node == my_node:
+                continue
+            peer_ranks = [
+                comm.group.rank_of(w)
+                for w in comm.group.world_ranks()
+                if placement.node_of(w) == peer_node
+            ]
+            if out is None:
+                payload = Bytes(len(my_ranks) * len(peer_ranks) * block)
+            else:
+                payload = np.ascontiguousarray(
+                    out[np.ix_(range(len(my_ranks)), peer_ranks)]
+                )
+            reqs.append(ctx.bridge.isend(payload, peer_bridge, tag=99))
+            reqs.append(ctx.bridge.irecv(source=peer_bridge, tag=99))
+        results = yield AllOf([r.event for r in reqs])
+        # Write received super-blocks into the incoming matrix.
+        recv_iter = iter(
+            [r for r in results if isinstance(r, tuple)]
+        )
+        for peer_bridge in range(ctx.bridge.size):
+            peer_node = ctx.node_of_bridge_rank(peer_bridge)
+            if peer_node == my_node:
+                continue
+            payload, _status = next(recv_iter)
+            if inc is None or isinstance(payload, Bytes):
+                continue
+            peer_ranks = [
+                comm.group.rank_of(w)
+                for w in comm.group.world_ranks()
+                if placement.node_of(w) == peer_node
+            ]
+            cube = np.asarray(payload).reshape(
+                len(peer_ranks), len(my_ranks), block
+            )
+            # cube[pi, mi] = peer rank pi's message to my rank mi.
+            for pi, src in enumerate(peer_ranks):
+                for mi in range(len(my_ranks)):
+                    inc[mi, src] = cube[pi, mi]
+    yield from sync.post_exchange(ctx)

@@ -1,0 +1,91 @@
+"""Hybrid gather / scatter — extensions in the paper's style.
+
+* **hy_gather** — children store into the node window (no messages);
+  leaders gatherv contiguous node blocks to the root's leader on the
+  bridge; ranks on the root's node read the full result in place.
+* **hy_scatter** — the root stores the full send buffer into its node
+  window; its leader scattervs node blocks to the other leaders; every
+  rank reads its slot in place.
+
+Both keep one buffer copy per node and move each byte across the wire
+exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.core.shared_buffer import SharedBuffer
+from repro.core.sync import SyncPolicy
+
+__all__ = ["hy_gather", "hy_scatter"]
+
+
+def hy_gather(ctx, buf: SharedBuffer, root: int = 0,
+              sync: SyncPolicy | None = None):
+    """Coroutine: hybrid gather of per-rank slots to *root*'s node.
+
+    Each rank must have stored its contribution via
+    ``buf.local_view()``.  After completion ranks on the root's node can
+    read the full result from ``buf.node_view()``; the buffer contents
+    on other nodes cover only their own region.
+    """
+    sync = sync or ctx.default_sync
+    placement = ctx.comm.ctx.placement
+    root_world = ctx.comm.world_rank_of(root)
+    root_node = placement.node_of(root_world)
+
+    if not ctx.multi_node:
+        yield from sync.single(ctx)
+        return
+
+    yield from sync.pre_exchange(ctx)
+    if ctx.is_leader:
+        root_bridge = ctx.bridge_rank_of_node(root_node)
+        gathered = yield from ctx.bridge.gatherv(
+            buf.node_payload(), root=root_bridge
+        )
+        if ctx.node == root_node:
+            # Root's leader received every other node's block.
+            for bridge_rank, block in enumerate(gathered):
+                node = ctx.node_of_bridge_rank(bridge_rank)
+                if node == ctx.node:
+                    continue
+                offset, _n = buf.node_region(node)
+                buf.write_region(offset, block)
+    yield from sync.post_exchange(ctx)
+
+
+def hy_scatter(ctx, buf: SharedBuffer, root: int = 0,
+               sync: SyncPolicy | None = None):
+    """Coroutine: hybrid scatter from *root* to per-rank shared slots.
+
+    The root must have stored the full send buffer into
+    ``buf.node_view()`` (its node's window).  After completion each rank
+    reads its own slot via ``buf.local_view()``.
+    """
+    sync = sync or ctx.default_sync
+    placement = ctx.comm.ctx.placement
+    root_world = ctx.comm.world_rank_of(root)
+    root_node = placement.node_of(root_world)
+    root_is_leader = placement.leader_of(root_node) == root_world
+
+    if not ctx.multi_node:
+        yield from sync.single(ctx)
+        return
+
+    if not root_is_leader:
+        yield from sync.pre_exchange(ctx)
+
+    if ctx.is_leader:
+        root_bridge = ctx.bridge_rank_of_node(root_node)
+        if ctx.node == root_node:
+            payloads = []
+            for brank in range(ctx.bridge.size):
+                node = ctx.node_of_bridge_rank(brank)
+                off, nbytes = buf.node_region(node)
+                payloads.append(buf.region_payload(off, nbytes))
+            yield from ctx.bridge.scatter(payloads, root=root_bridge)
+        else:
+            block = yield from ctx.bridge.scatter(None, root=root_bridge)
+            offset, _n = buf.node_region(ctx.node)
+            buf.write_region(offset, block)
+    yield from sync.single(ctx)

@@ -1,0 +1,105 @@
+"""Rank-placement handling for the hybrid collectives (paper §6).
+
+The paper's algorithms assume *SMP-style* placement: consecutive global
+ranks fill each node, so a node's contribution to an allgather result is
+one contiguous region of the shared buffer.  §6 discusses two remedies
+for other placements:
+
+1. **Derived datatypes** — pack/unpack non-contiguous blocks (always
+   costs packing time; modelled via ``NetworkSpec.per_byte_packing``).
+2. **Node-sorted global rank array** — precompute, once, the permutation
+   that lists ranks grouped by node; lay the shared buffer out in that
+   *node-major* order, and translate slot indices through the
+   permutation when readers want rank-ordered access.
+
+:class:`NodeSortedLayout` implements remedy 2 (the paper's preferred
+one); the layout degenerates to the identity for SMP-style placement.
+"""
+
+from __future__ import annotations
+
+from repro.machine.placement import Placement
+
+__all__ = ["NodeSortedLayout"]
+
+
+class NodeSortedLayout:
+    """Node-major slot layout of a communicator's ranks.
+
+    Slot *s* of the conceptual global buffer belongs to the rank
+    ``rank_of_slot(s)``; rank *r* writes at ``slot_of_rank(r)``.  All
+    members of one node occupy consecutive slots, so each node's
+    contribution is contiguous — a requirement for the leader's single
+    ``MPI_Allgatherv`` in the hybrid exchange.
+
+    Parameters
+    ----------
+    comm_world_ranks:
+        The communicator's members as world ranks, in comm-rank order.
+    placement:
+        The machine placement mapping world ranks to nodes.
+    """
+
+    def __init__(self, comm_world_ranks: tuple[int, ...], placement: Placement):
+        self._placement = placement
+        n = len(comm_world_ranks)
+        # Group comm ranks by node, preserving comm-rank order inside a
+        # node; nodes ordered by first appearance in comm-rank order is
+        # NOT deterministic across ranks if computed differently -- use
+        # ascending node id, which every rank derives identically.
+        by_node: dict[int, list[int]] = {}
+        for comm_rank, world in enumerate(comm_world_ranks):
+            by_node.setdefault(placement.node_of(world), []).append(comm_rank)
+        self._nodes = sorted(by_node)
+        self._slot_of_rank = [0] * n
+        self._rank_of_slot = [0] * n
+        slot = 0
+        self._node_slot_start: dict[int, int] = {}
+        self._node_counts: dict[int, int] = {}
+        for node in self._nodes:
+            self._node_slot_start[node] = slot
+            self._node_counts[node] = len(by_node[node])
+            for comm_rank in by_node[node]:
+                self._slot_of_rank[comm_rank] = slot
+                self._rank_of_slot[slot] = comm_rank
+                slot += 1
+        self._identity = self._slot_of_rank == list(range(n))
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the layout."""
+        return len(self._slot_of_rank)
+
+    @property
+    def nodes(self) -> list[int]:
+        """Participating node ids, ascending (= bridge comm order)."""
+        return list(self._nodes)
+
+    @property
+    def is_identity(self) -> bool:
+        """True for SMP-style placement (slot == rank)."""
+        return self._identity
+
+    def slot_of_rank(self, comm_rank: int) -> int:
+        """Node-major slot index of *comm_rank*."""
+        return self._slot_of_rank[comm_rank]
+
+    def rank_of_slot(self, slot: int) -> int:
+        """Comm rank occupying *slot*."""
+        return self._rank_of_slot[slot]
+
+    def node_slot_start(self, node: int) -> int:
+        """First slot of *node*'s contiguous region."""
+        return self._node_slot_start[node]
+
+    def node_count(self, node: int) -> int:
+        """Number of ranks of *node* in this layout."""
+        return self._node_counts[node]
+
+    def node_counts_in_order(self) -> list[int]:
+        """Per-node rank counts in node (bridge) order."""
+        return [self._node_counts[n] for n in self._nodes]
+
+    def __repr__(self) -> str:
+        kind = "identity" if self._identity else "permuted"
+        return f"NodeSortedLayout(size={self.size}, {kind})"

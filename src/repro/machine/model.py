@@ -1,0 +1,235 @@
+"""Node and machine models.
+
+A :class:`MachineSpec` declares the cluster; :class:`Machine` instantiates
+it on a simulation :class:`~repro.simulator.Engine`, creating the
+contended per-node resources:
+
+* a **memory system** (:class:`~repro.simulator.BandwidthChannel`): every
+  intra-node message copy and every shared-memory touch moves bytes
+  through it, so on-node copy cost grows once concurrent copies exceed
+  the sustainable stream count — the contention effect that motivates the
+  paper;
+* a **NIC** pair (owned by the :class:`~repro.machine.network.NetworkModel`).
+
+Intra-node point-to-point transport is modelled as the classic
+CICO (copy-in/copy-out) double copy through a shared-memory staging
+buffer, with a per-message latency ``shm_latency`` — this is how MPICH,
+Open MPI and Cray MPI move on-node messages, and it is precisely the
+traffic the hybrid MPI+MPI collectives eliminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.compute import ComputeModel
+from repro.machine.network import NetworkModel, NetworkSpec
+from repro.machine.placement import Placement
+from repro.machine.topology import Topology
+from repro.simulator import BandwidthChannel, Engine
+
+__all__ = ["NodeSpec", "MachineSpec", "Machine"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Single-node hardware description.
+
+    Attributes
+    ----------
+    cores:
+        Cores per node (Hazel Hen / Vulcan: 24).
+    mem_bandwidth:
+        Aggregate sustainable memory bandwidth, bytes/second.
+    mem_streams:
+        Concurrent memory streams at full per-stream rate; beyond this,
+        copies queue.  Models channel/LLC contention.
+    shm_latency:
+        Per-message latency of one intra-node (shared-memory transport)
+        hop, seconds.
+    cache_line:
+        Cache-line size in bytes (used for false-sharing diagnostics in
+        the shared-flag synchronization model).
+    """
+
+    cores: int = 24
+    mem_bandwidth: float = 60.0e9
+    mem_streams: int = 6
+    shm_latency: float = 3.0e-7
+    cache_line: int = 64
+
+    def validate(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.mem_bandwidth <= 0:
+            raise ValueError("mem_bandwidth must be positive")
+        if self.mem_streams < 1:
+            raise ValueError("mem_streams must be >= 1")
+        if self.shm_latency < 0:
+            raise ValueError("shm_latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Declarative cluster description.
+
+    ``topology_kind`` selects the default topology built by
+    :class:`Machine` when none is passed explicitly: ``"flat"``,
+    ``"dragonfly"`` (Aries-like) or ``"fattree"`` (InfiniBand-like).
+    """
+
+    name: str
+    num_nodes: int
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    compute: ComputeModel = field(default_factory=ComputeModel)
+    topology_kind: str = "flat"
+
+    def validate(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.topology_kind not in ("flat", "dragonfly", "fattree"):
+            raise ValueError(f"unknown topology_kind {self.topology_kind!r}")
+        self.node.validate()
+        self.network.validate()
+
+    def build_topology(self) -> Topology:
+        """Construct the default topology for this spec."""
+        from repro.machine.topology import (
+            DragonflyTopology,
+            FatTreeTopology,
+            FlatTopology,
+        )
+
+        if self.topology_kind == "dragonfly":
+            return DragonflyTopology(self.num_nodes)
+        if self.topology_kind == "fattree":
+            return FatTreeTopology(self.num_nodes)
+        return FlatTopology(self.num_nodes)
+
+
+class Machine:
+    """Runtime cluster bound to an engine.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine driving virtual time.
+    spec:
+        Cluster description.
+    topology:
+        Optional explicit topology; defaults to the spec-appropriate flat
+        topology inside :class:`NetworkModel`.
+    link_contention:
+        Forwarded to :class:`NetworkModel`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec: MachineSpec,
+        topology: Topology | None = None,
+        link_contention: bool = False,
+    ):
+        spec.validate()
+        self.engine = engine
+        self.spec = spec
+        self.network = NetworkModel(
+            engine,
+            spec.network,
+            num_nodes=spec.num_nodes,
+            topology=topology or spec.build_topology(),
+            link_contention=link_contention,
+        )
+        node = spec.node
+        self._memory = [
+            BandwidthChannel(
+                engine,
+                node.mem_bandwidth,
+                node.mem_streams,
+                name=f"node{i}.mem",
+            )
+            for i in range(spec.num_nodes)
+        ]
+        self.intra_copies = 0
+        self.intra_bytes = 0.0
+        self._placement: Placement | None = None
+
+    def bind_placement(self, placement: Placement) -> None:
+        """Attach the rank→node map (done once by the MPI job runner)."""
+        if placement.num_nodes > self.num_nodes:
+            raise ValueError(
+                f"placement uses {placement.num_nodes} nodes, machine has "
+                f"{self.num_nodes}"
+            )
+        self._placement = placement
+
+    @property
+    def placement(self) -> Placement:
+        """The bound rank→node map."""
+        if self._placement is None:
+            raise RuntimeError("no placement bound to this machine yet")
+        return self._placement
+
+    # -- intra-node traffic ---------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Nodes in the machine."""
+        return self.spec.num_nodes
+
+    def memory(self, node: int) -> BandwidthChannel:
+        """The contended memory system of *node*."""
+        return self._memory[node]
+
+    def memory_copy(self, node: int, nbytes: float, copies: int = 1):
+        """Coroutine: perform *copies* sequential memory copies of *nbytes*.
+
+        Each copy reads and writes the data once, so it moves
+        ``2 * nbytes`` through the node memory system.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.intra_copies += copies
+        self.intra_bytes += nbytes * copies
+        for _ in range(copies):
+            yield self._memory[node].transfer(2.0 * nbytes)
+        return nbytes
+
+    def intra_message(self, node: int, nbytes: float):
+        """Coroutine: one on-node MPI message (CICO through shared staging).
+
+        Cost = per-message latency + two memory copies (sender copies into
+        the staging buffer, receiver copies out), both contended.
+        """
+        yield self.engine.timeout(self.spec.node.shm_latency)
+        yield from self.memory_copy(node, nbytes, copies=2)
+        return nbytes
+
+    def shared_touch(self, node: int, nbytes: float):
+        """Coroutine: direct load/store access to shared memory.
+
+        One pass over the data (no staging copy) — the hybrid model's
+        cost for a process reading its neighbours' contribution in place.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        yield self._memory[node].transfer(nbytes)
+        return nbytes
+
+    # -- convenience -----------------------------------------------------
+    def default_placement(self, num_ranks: int) -> Placement:
+        """Block (SMP-style) placement of *num_ranks* over the machine."""
+        cores = self.spec.node.cores
+        if num_ranks > self.num_nodes * cores:
+            raise ValueError(
+                f"{num_ranks} ranks exceed machine capacity "
+                f"{self.num_nodes * cores}"
+            )
+        full, rem = divmod(num_ranks, cores)
+        counts = [cores] * full + ([rem] if rem else [])
+        if not counts:
+            raise ValueError("num_ranks must be >= 1")
+        return Placement.irregular(counts)
+
+    def __repr__(self) -> str:
+        return f"Machine({self.spec.name!r}, nodes={self.num_nodes})"

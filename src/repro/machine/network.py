@@ -1,0 +1,215 @@
+"""Inter-node network cost model.
+
+The model is a Hockney (alpha-beta) formulation extended with per-hop
+router latency and endpoint NIC contention:
+
+.. math::
+
+    T(n, h) = \\alpha + h \\cdot t_{hop} + n / B
+
+where ``alpha`` is the software/injection latency, ``h`` the router hop
+count from the :class:`~repro.machine.topology.Topology`, and ``B`` the
+point-to-point bandwidth.  The bandwidth term is *contended*: each
+endpoint NIC is a :class:`~repro.simulator.BandwidthChannel`, so a node
+sending to (or receiving from) many peers serializes — which is exactly
+what penalizes flat (non-hierarchical) collectives at scale and what the
+paper's leader-based designs avoid.
+
+Optionally (``link_contention=True``) messages additionally occupy the
+router-graph links along their path, modelling bisection pressure.  This
+costs more events; the default endpoint-contention model is used by the
+paper-scale benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.topology import FlatTopology, Topology
+from repro.simulator import AllOf, BandwidthChannel, Engine
+
+__all__ = ["NetworkSpec", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Declarative network parameters.
+
+    Attributes
+    ----------
+    alpha:
+        Base one-way latency in seconds (software + injection).
+    hop_latency:
+        Additional latency per router hop, seconds.
+    bandwidth:
+        Point-to-point sustainable bandwidth, bytes/second.
+    nic_streams:
+        Concurrent full-rate streams one NIC sustains (Aries: ~2).
+    eager_threshold:
+        Messages at or below this many bytes use the eager protocol (no
+        rendezvous round-trip).
+    rendezvous_overhead:
+        Extra latency, seconds, for the rendezvous handshake of large
+        messages (one extra round trip: ~2*alpha by default at build
+        time if left at 0 and the caller doesn't override).
+    per_byte_packing:
+        Per-byte CPU cost of non-contiguous datatype packing (used by the
+        derived-datatype placement fallback, paper §6).
+    """
+
+    alpha: float = 1.5e-6
+    hop_latency: float = 1.0e-7
+    bandwidth: float = 8.0e9
+    nic_streams: int = 2
+    eager_threshold: int = 8192
+    rendezvous_overhead: float = 0.0
+    per_byte_packing: float = 2.5e-11
+
+    def validate(self) -> None:
+        if self.alpha < 0 or self.hop_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.nic_streams < 1:
+            raise ValueError("nic_streams must be >= 1")
+        if self.eager_threshold < 0:
+            raise ValueError("eager_threshold must be non-negative")
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters maintained by :class:`NetworkModel`."""
+
+    messages: int = 0
+    bytes: float = 0.0
+    max_hops: int = 0
+    rendezvous_messages: int = 0
+    per_pair: dict = field(default_factory=dict)
+
+    def record(self, src_node: int, dst_node: int, nbytes: float, hops: int,
+               rendezvous: bool) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        self.max_hops = max(self.max_hops, hops)
+        if rendezvous:
+            self.rendezvous_messages += 1
+        key = (src_node, dst_node)
+        cnt, byt = self.per_pair.get(key, (0, 0.0))
+        self.per_pair[key] = (cnt + 1, byt + nbytes)
+
+
+class NetworkModel:
+    """Runtime network: owns NIC channels and (optionally) link channels.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    spec:
+        Static parameters.
+    topology:
+        Hop-count provider; defaults to a 2-hop :class:`FlatTopology`.
+    num_nodes:
+        Number of compute nodes (NIC endpoints to create).
+    link_contention:
+        If True, transfers also occupy every router-graph link on their
+        path (detailed mode).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec: NetworkSpec,
+        num_nodes: int,
+        topology: Topology | None = None,
+        link_contention: bool = False,
+    ):
+        spec.validate()
+        self.engine = engine
+        self.spec = spec
+        self.topology = topology or FlatTopology(num_nodes)
+        if self.topology.num_nodes < num_nodes:
+            raise ValueError(
+                f"topology supports {self.topology.num_nodes} nodes, "
+                f"machine has {num_nodes}"
+            )
+        self.num_nodes = num_nodes
+        self.link_contention = link_contention
+        # spec.bandwidth is the point-to-point per-stream rate; the NIC
+        # sustains nic_streams such streams before transfers queue.
+        nic_aggregate = spec.bandwidth * spec.nic_streams
+        self._tx = [
+            BandwidthChannel(
+                engine, nic_aggregate, spec.nic_streams, name=f"nic{t}.tx"
+            )
+            for t in range(num_nodes)
+        ]
+        self._rx = [
+            BandwidthChannel(
+                engine, nic_aggregate, spec.nic_streams, name=f"nic{t}.rx"
+            )
+            for t in range(num_nodes)
+        ]
+        self._links: dict[frozenset, BandwidthChannel] = {}
+        if link_contention:
+            for a, b, _data in self.topology.graph.edges(data=True):
+                self._links[frozenset((a, b))] = BandwidthChannel(
+                    engine, nic_aggregate, spec.nic_streams,
+                    name=f"link{a}-{b}",
+                )
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    def latency(self, src_node: int, dst_node: int) -> float:
+        """Pure latency component between two nodes."""
+        hops = self.topology.hops(src_node, dst_node)
+        return self.spec.alpha + hops * self.spec.hop_latency
+
+    def uncontended_time(self, src_node: int, dst_node: int, nbytes: float) -> float:
+        """Analytic transfer time ignoring contention (for assertions)."""
+        t = self.latency(src_node, dst_node)
+        if nbytes > self.spec.eager_threshold:
+            t += self.rendezvous_latency(src_node, dst_node)
+        return t + nbytes / self.spec.bandwidth
+
+    def rendezvous_latency(self, src_node: int, dst_node: int) -> float:
+        """Handshake cost for a rendezvous (large-message) transfer."""
+        if self.spec.rendezvous_overhead > 0:
+            return self.spec.rendezvous_overhead
+        return 2.0 * self.latency(src_node, dst_node)
+
+    def transmit(self, src_node: int, dst_node: int, nbytes: float):
+        """Coroutine: move *nbytes* between nodes; completes at delivery.
+
+        Must be driven with ``yield from`` (or spawned).  Occupies the
+        source TX NIC and destination RX NIC for the serialization time,
+        then waits the propagation latency.
+        """
+        if src_node == dst_node:
+            raise ValueError("transmit() is for inter-node traffic only")
+        spec = self.spec
+        hops = self.topology.hops(src_node, dst_node)
+        rendezvous = nbytes > spec.eager_threshold
+        self.stats.record(src_node, dst_node, nbytes, hops, rendezvous)
+        if rendezvous:
+            yield self.engine.timeout(self.rendezvous_latency(src_node, dst_node))
+        # Serialization: both endpoint NICs held concurrently.
+        holds = [
+            self._tx[src_node].transfer(nbytes),
+            self._rx[dst_node].transfer(nbytes),
+        ]
+        if self.link_contention:
+            for edge in self.topology.path(src_node, dst_node):
+                holds.append(self._links[frozenset(edge)].transfer(nbytes))
+        yield AllOf(holds)
+        # Propagation.
+        yield self.engine.timeout(spec.alpha + hops * spec.hop_latency)
+        return nbytes
+
+    def nic_tx(self, node: int) -> BandwidthChannel:
+        """The transmit channel of *node* (for instrumentation/tests)."""
+        return self._tx[node]
+
+    def nic_rx(self, node: int) -> BandwidthChannel:
+        """The receive channel of *node* (for instrumentation/tests)."""
+        return self._rx[node]

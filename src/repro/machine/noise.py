@@ -1,0 +1,79 @@
+"""OS-noise / performance-variability injection.
+
+Real clusters are not noiseless: OS daemons, network interrupts and
+frequency jitter stretch compute phases unpredictably, and collectives
+*amplify* that noise (every barrier waits for the unluckiest rank —
+Hoefler et al., "Characterizing the influence of system noise on
+large-scale applications", SC'10).  The paper's measurements average
+10000 repetitions precisely to tame this.
+
+:class:`NoiseModel` injects deterministic, seeded pseudo-noise into the
+compute charges of a job, enabling two kinds of study:
+
+* robustness of the reproduction's *conclusions* to perturbation (the
+  benchmark suite's claims still hold under noise);
+* comparison of the hybrid vs pure designs' noise sensitivity
+  (`repro-bench --figure abl_noise`): the hybrid's critical path has
+  fewer synchronization stages, so its slowdown factor under identical
+  noise is smaller.
+
+The model is a standard two-component one:
+
+* **jitter** — every compute charge is multiplied by ``1 + X`` with
+  ``X ~ |N(0, jitter²)|`` (frequency/cache variability);
+* **detours** — with probability ``detour_rate`` per compute charge, a
+  fixed ``detour_seconds`` preemption is added (daemon wake-ups).
+
+Noise draws come from a dedicated, seeded generator: runs remain fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Deterministic pseudo-noise parameters.
+
+    Attributes
+    ----------
+    jitter:
+        Relative magnitude of the multiplicative component (e.g. 0.02
+        for ~2 % typical stretch).
+    detour_rate:
+        Probability that one compute charge suffers a preemption.
+    detour_seconds:
+        Length of one preemption (typical OS daemon: 10-100 µs).
+    seed:
+        Base seed; each rank derives an independent stream.
+    """
+
+    jitter: float = 0.02
+    detour_rate: float = 0.001
+    detour_seconds: float = 25.0e-6
+    seed: int = 999
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0 or not 0 <= self.detour_rate <= 1:
+            raise ValueError("invalid noise parameters")
+        if self.detour_seconds < 0:
+            raise ValueError("detour_seconds must be non-negative")
+
+    def stream_for(self, rank: int) -> np.random.Generator:
+        """Independent per-rank noise stream (deterministic)."""
+        return np.random.default_rng((self.seed, rank))
+
+    def perturb(self, seconds: float, rng: np.random.Generator) -> float:
+        """Noisy duration of a nominal *seconds* compute charge."""
+        if seconds <= 0:
+            return seconds
+        stretched = seconds * (1.0 + abs(rng.normal(0.0, self.jitter)))
+        if self.detour_rate and rng.random() < self.detour_rate:
+            stretched += self.detour_seconds
+        return stretched

@@ -1,0 +1,155 @@
+"""Rank-to-node placement maps.
+
+The paper assumes *SMP-style* placement (consecutive world ranks fill a
+node before spilling to the next — MPI's "block" mapping) for its main
+algorithms, discusses round-robin placement in §6, and evaluates an
+*irregular* population (42 nodes with 24 ranks, 1 node with 16 ranks) in
+§5.1.3 / Fig 10.  :class:`Placement` captures all three.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["Placement"]
+
+
+class Placement:
+    """Immutable map from world rank to (node, slot-on-node).
+
+    Construct via one of the classmethods:
+
+    * :meth:`block` — SMP-style: ranks 0..ppn-1 on node 0, etc.
+    * :meth:`round_robin` — rank r on node ``r % num_nodes``.
+    * :meth:`irregular` — explicit per-node rank counts, block-ordered.
+    * :meth:`explicit` — arbitrary rank→node list.
+    """
+
+    def __init__(self, node_of_rank: Sequence[int], num_nodes: int, kind: str):
+        node_of = list(int(n) for n in node_of_rank)
+        if not node_of:
+            raise ValueError("placement must contain at least one rank")
+        if any(n < 0 or n >= num_nodes for n in node_of):
+            raise ValueError("rank mapped to node outside the machine")
+        self._node_of = node_of
+        self.num_nodes = int(num_nodes)
+        self.kind = kind
+        self._ranks_on: list[list[int]] = [[] for _ in range(num_nodes)]
+        for rank, node in enumerate(node_of):
+            self._ranks_on[node].append(rank)
+        self._slot_of = [0] * len(node_of)
+        for node_ranks in self._ranks_on:
+            for slot, rank in enumerate(node_ranks):
+                self._slot_of[rank] = slot
+        if any(not r for r in self._ranks_on):
+            raise ValueError("every node must host at least one rank")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def block(cls, num_nodes: int, ranks_per_node: int) -> "Placement":
+        """SMP-style placement: node i hosts ranks [i*ppn, (i+1)*ppn)."""
+        if num_nodes < 1 or ranks_per_node < 1:
+            raise ValueError("num_nodes and ranks_per_node must be >= 1")
+        node_of = [r // ranks_per_node for r in range(num_nodes * ranks_per_node)]
+        return cls(node_of, num_nodes, "block")
+
+    @classmethod
+    def round_robin(cls, num_nodes: int, ranks_per_node: int) -> "Placement":
+        """Cyclic placement: rank r lives on node ``r % num_nodes``."""
+        if num_nodes < 1 or ranks_per_node < 1:
+            raise ValueError("num_nodes and ranks_per_node must be >= 1")
+        node_of = [r % num_nodes for r in range(num_nodes * ranks_per_node)]
+        return cls(node_of, num_nodes, "round_robin")
+
+    @classmethod
+    def irregular(cls, counts: Sequence[int]) -> "Placement":
+        """Block placement with a distinct rank count per node."""
+        counts = [int(c) for c in counts]
+        if not counts or any(c < 1 for c in counts):
+            raise ValueError("counts must be non-empty positive integers")
+        node_of: list[int] = []
+        for node, c in enumerate(counts):
+            node_of.extend([node] * c)
+        return cls(node_of, len(counts), "irregular")
+
+    @classmethod
+    def explicit(cls, node_of_rank: Sequence[int]) -> "Placement":
+        """Arbitrary placement from an explicit rank→node list."""
+        num_nodes = max(node_of_rank) + 1
+        return cls(node_of_rank, num_nodes, "explicit")
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def num_ranks(self) -> int:
+        """Total world size."""
+        return len(self._node_of)
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting *rank*."""
+        return self._node_of[rank]
+
+    def slot_of(self, rank: int) -> int:
+        """Position of *rank* among the ranks of its node (0-based)."""
+        return self._slot_of[rank]
+
+    def ranks_on(self, node: int) -> list[int]:
+        """World ranks hosted on *node*, ascending."""
+        return list(self._ranks_on[node])
+
+    def leader_of(self, node: int) -> int:
+        """Lowest world rank on *node* — the paper's leader convention."""
+        return self._ranks_on[node][0]
+
+    def leaders(self) -> list[int]:
+        """All node leaders in node order (the bridge communicator)."""
+        return [ranks[0] for ranks in self._ranks_on]
+
+    def is_leader(self, rank: int) -> bool:
+        """True if *rank* is its node's leader."""
+        return self.leader_of(self.node_of(rank)) == rank
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True if ranks *a* and *b* share a node."""
+        return self._node_of[a] == self._node_of[b]
+
+    def counts(self) -> list[int]:
+        """Number of ranks per node, in node order."""
+        return [len(r) for r in self._ranks_on]
+
+    def is_smp_style(self) -> bool:
+        """True if world ranks are contiguous within each node and node
+        order follows rank order (the paper's SMP-style assumption)."""
+        expected = 0
+        for node_ranks in self._ranks_on:
+            for r in node_ranks:
+                if r != expected:
+                    return False
+                expected += 1
+        return True
+
+    def node_sorted_ranks(self) -> list[int]:
+        """The node-sorted global rank array of paper §6.
+
+        Lists world ranks grouped by node (node order, then rank order
+        within the node).  For SMP-style placement this is the identity;
+        for other placements it tells each process where its block lands
+        in a node-major shared receive buffer.
+        """
+        out: list[int] = []
+        for node_ranks in self._ranks_on:
+            out.extend(node_ranks)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Placement) and self._node_of == other._node_of
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._node_of))
+
+    def __repr__(self) -> str:
+        return (
+            f"Placement(kind={self.kind!r}, nodes={self.num_nodes}, "
+            f"ranks={self.num_ranks})"
+        )

@@ -1,0 +1,121 @@
+"""Calibrated machine presets for the two evaluation clusters.
+
+The paper evaluates on:
+
+* **Hazel Hen** — Cray XC40: 2× Intel Haswell E5-2680v3 per node
+  (24 cores @ 2.5 GHz), 128 GB DDR4, Cray Aries dragonfly, Cray MPI.
+* **Vulcan** — NEC cluster with the identical node architecture but an
+  InfiniBand network and Open MPI.
+
+The node-side parameters are therefore shared; the presets differ in
+network latency/bandwidth, eager thresholds and (through
+:mod:`repro.mpi.collectives.tuning`) collective selection — mirroring how
+Cray MPI and Open MPI behave differently on the same silicon in Figs 7-10.
+
+Absolute values are order-of-magnitude calibrations from public
+Aries/FDR-InfiniBand measurements, NOT fits to the paper's plots; the
+reproduction targets curve *shapes* and crossovers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.machine.compute import ComputeModel
+from repro.machine.model import MachineSpec, NodeSpec
+from repro.machine.network import NetworkSpec
+
+__all__ = ["hazel_hen", "vulcan", "testing_machine"]
+
+#: Shared Haswell node calibration (both clusters use identical nodes).
+_HASWELL_NODE = NodeSpec(
+    cores=24,
+    mem_bandwidth=60.0e9,   # ~2/3 of 2-socket DDR4-2133 peak
+    mem_streams=6,          # sustained full-rate copy streams per node
+    shm_latency=0.45e-6,    # one CICO hop, on-node
+    cache_line=64,
+)
+
+_HASWELL_COMPUTE = ComputeModel(
+    core_peak_flops=40.0e9,  # 2.5 GHz * 16 DP flops/cycle (AVX2 FMA)
+    core_mem_bandwidth=5.0e9,
+)
+
+
+def hazel_hen(num_nodes: int) -> MachineSpec:
+    """Cray XC40 'Hazel Hen' preset (Aries dragonfly, Cray-MPI-like).
+
+    Cray MPI on Aries: low injection latency (~1.3 µs), ~10 GB/s
+    point-to-point, aggressive eager threshold.
+    """
+    return MachineSpec(
+        name="hazel_hen",
+        num_nodes=num_nodes,
+        node=_HASWELL_NODE,
+        network=NetworkSpec(
+            alpha=1.3e-6,
+            hop_latency=1.0e-7,
+            bandwidth=10.0e9,
+            nic_streams=2,
+            eager_threshold=8192,
+        ),
+        compute=_HASWELL_COMPUTE,
+        topology_kind="dragonfly",
+    )
+
+
+def vulcan(num_nodes: int) -> MachineSpec:
+    """NEC 'Vulcan' preset (InfiniBand fat-tree, Open-MPI-like).
+
+    Open MPI over FDR InfiniBand: higher injection latency (~1.9 µs),
+    ~6 GB/s point-to-point, smaller eager threshold (btl/openib default
+    ~12 KB but with higher rendezvous cost).
+    """
+    return MachineSpec(
+        name="vulcan",
+        num_nodes=num_nodes,
+        node=_HASWELL_NODE,
+        network=NetworkSpec(
+            alpha=1.9e-6,
+            hop_latency=1.5e-7,
+            bandwidth=6.0e9,
+            nic_streams=2,
+            eager_threshold=12288,
+        ),
+        compute=_HASWELL_COMPUTE,
+        topology_kind="fattree",
+    )
+
+
+def testing_machine(
+    num_nodes: int = 2,
+    cores: int = 4,
+    *,
+    alpha: float = 1.0e-6,
+    bandwidth: float = 1.0e9,
+    mem_bandwidth: float = 10.0e9,
+    shm_latency: float = 1.0e-7,
+    eager_threshold: int = 4096,
+) -> MachineSpec:
+    """Small, round-number machine for unit tests.
+
+    Parameters are chosen so hand-computed expected times are exact
+    binary floats (powers of ten divided by powers of two).
+    """
+    return MachineSpec(
+        name="testing",
+        num_nodes=num_nodes,
+        node=NodeSpec(
+            cores=cores,
+            mem_bandwidth=mem_bandwidth,
+            mem_streams=2,
+            shm_latency=shm_latency,
+        ),
+        network=NetworkSpec(
+            alpha=alpha,
+            hop_latency=0.0,
+            bandwidth=bandwidth,
+            nic_streams=1,
+            eager_threshold=eager_threshold,
+        ),
+        compute=ComputeModel(core_peak_flops=1.0e9, core_mem_bandwidth=1.0e9),
+        topology_kind="flat",
+    )

@@ -1,0 +1,150 @@
+"""Cartesian process topologies (MPI_Cart_create analogue).
+
+SUMMA-style algorithms organize ranks on a logical grid and communicate
+along rows/columns.  :func:`cart_create` builds a :class:`CartComm`
+wrapper exposing coordinates, neighbour shifts, and cached row/column
+(sub-dimension) communicators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.mpi.constants import PROC_NULL
+from repro.mpi.errors import MPIError
+
+__all__ = ["CartComm", "cart_create", "dims_create"]
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """Balanced dimension factorization (MPI_Dims_create analogue)."""
+    if nnodes < 1 or ndims < 1:
+        raise ValueError("nnodes and ndims must be >= 1")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Greedy: repeatedly assign the largest prime factor to the smallest
+    # dimension.
+    factors = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    dims.sort(reverse=True)
+    return dims
+
+
+class CartComm:
+    """A communicator with Cartesian coordinates attached.
+
+    Wraps an ordinary :class:`~repro.mpi.comm.Comm` (row-major rank ↔
+    coordinate mapping, no reordering) and provides:
+
+    * :meth:`coords` / :meth:`rank_at` — rank↔coordinate translation;
+    * :meth:`shift` — displacement neighbours (with wraparound for
+      periodic dimensions, ``PROC_NULL`` at open boundaries);
+    * :meth:`sub` — cached sub-communicators along one dimension
+      (``MPI_Cart_sub``), e.g. process rows and columns.
+    """
+
+    def __init__(self, comm: Any, dims: tuple[int, ...],
+                 periods: tuple[bool, ...]):
+        total = math.prod(dims)
+        if total != comm.size:
+            raise MPIError(
+                f"grid {dims} needs {total} ranks, comm has {comm.size}"
+            )
+        self.comm = comm
+        self.dims = tuple(dims)
+        self.periods = tuple(periods)
+        self._subs: dict[int, Any] = {}
+
+    # -- delegation ---------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Rank in the underlying communicator."""
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        """Total ranks on the grid."""
+        return self.comm.size
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.comm, name)
+
+    # -- geometry -----------------------------------------------------------
+    def coords(self, rank: int | None = None) -> tuple[int, ...]:
+        """Coordinates of *rank* (default: mine), row-major."""
+        r = self.rank if rank is None else rank
+        out = []
+        for d in reversed(self.dims):
+            out.append(r % d)
+            r //= d
+        return tuple(reversed(out))
+
+    def rank_at(self, coords: tuple[int, ...]) -> int:
+        """Rank at *coords* (periodic dims wrap; open dims must be in
+        range)."""
+        if len(coords) != len(self.dims):
+            raise ValueError("coordinate arity mismatch")
+        rank = 0
+        for c, d, per in zip(coords, self.dims, self.periods):
+            if per:
+                c %= d
+            elif not 0 <= c < d:
+                raise ValueError(f"coordinate {c} outside open dim {d}")
+            rank = rank * d + c
+        return rank
+
+    def shift(self, dim: int, displacement: int = 1) -> tuple[int, int]:
+        """(source, destination) ranks displaced along *dim*
+        (``MPI_Cart_shift``); ``PROC_NULL`` past open boundaries."""
+        me = list(self.coords())
+
+        def neighbour(delta: int) -> int:
+            c = list(me)
+            c[dim] += delta
+            if self.periods[dim]:
+                return self.rank_at(tuple(c))
+            if 0 <= c[dim] < self.dims[dim]:
+                return self.rank_at(tuple(c))
+            return PROC_NULL
+
+        return neighbour(-displacement), neighbour(+displacement)
+
+    # -- sub-communicators ---------------------------------------------------
+    def sub(self, keep_dim: int):
+        """Coroutine: communicator of all ranks sharing my coordinates in
+        every dimension except *keep_dim* (cached).
+
+        For a 2D grid, ``sub(1)`` is my process *row* and ``sub(0)`` my
+        process *column*."""
+        if keep_dim in self._subs:
+            return self._subs[keep_dim]
+        me = self.coords()
+        color = 0
+        for i, c in enumerate(me):
+            if i != keep_dim:
+                color = color * self.dims[i] + c
+        sub = yield from self.comm.split(color=color, key=me[keep_dim])
+        self._subs[keep_dim] = sub
+        return sub
+
+
+def cart_create(comm, dims: tuple[int, ...],
+                periods: tuple[bool, ...] | None = None) -> CartComm:
+    """Attach a Cartesian topology to *comm* (non-collective: pure
+    bookkeeping, like MPI's no-reorder mode)."""
+    if periods is None:
+        periods = tuple(False for _ in dims)
+    if len(periods) != len(dims):
+        raise ValueError("periods arity must match dims")
+    return CartComm(comm, tuple(int(d) for d in dims), tuple(periods))

@@ -1,0 +1,32 @@
+"""Barrier: dissemination algorithm (Hensgen/Finkel/Manber).
+
+``ceil(log2 p)`` rounds; in round k each rank sends a zero-byte token to
+``(rank + 2^k) mod p`` and waits for one from ``(rank - 2^k) mod p``.
+This is the paper's *heavy-weight* on-node synchronization primitive
+(§6): its cost over a shared-memory communicator is a handful of on-node
+latency hops, independent of message size — which is why Hy_Allgather is
+flat in Fig 7.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.datatypes import Bytes
+from repro.simulator import AllOf
+
+__all__ = ["barrier_dissemination"]
+
+
+def barrier_dissemination(comm, tag: int):
+    """Dissemination barrier over all ranks of *comm* (coroutine)."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    token = Bytes(0)
+    distance = 1
+    while distance < size:
+        to = (rank + distance) % size
+        frm = (rank - distance) % size
+        rreq = comm.irecv(source=frm, tag=tag)
+        sreq = comm.isend(token, to, tag=tag)
+        yield AllOf([rreq.event, sreq.event])
+        distance <<= 1

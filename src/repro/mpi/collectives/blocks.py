@@ -1,0 +1,89 @@
+"""Block container used by multi-block collective algorithms.
+
+Allgather-family algorithms move *sets of per-rank blocks* between
+processes (recursive doubling doubles the number of blocks carried per
+message; ring forwards one block at a time).  :class:`BlockSet` is the
+wire format: an immutable-ish map ``owner_rank → payload`` whose
+``nbytes`` is the sum of its members — which is exactly what the message
+cost model needs in both data and model payload modes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.mpi.datatypes import clone, nbytes_of
+
+__all__ = ["BlockSet"]
+
+
+class BlockSet:
+    """A set of per-rank blocks travelling as one message.
+
+    ``meta`` is an optional small side-channel dict (e.g. origin-rank
+    bookkeeping in Bruck all-to-all); it is copied on clone but does not
+    contribute to ``nbytes``.
+    """
+
+    __slots__ = ("blocks", "meta")
+
+    def __init__(
+        self,
+        blocks: dict[int, Any] | None = None,
+        meta: dict | None = None,
+    ):
+        self.blocks: dict[int, Any] = dict(blocks) if blocks else {}
+        self.meta: dict = dict(meta) if meta else {}
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across all blocks."""
+        return sum(nbytes_of(p) for p in self.blocks.values())
+
+    def sim_clone(self) -> "BlockSet":
+        """Deep snapshot (value semantics at send time)."""
+        return BlockSet(
+            {r: clone(p) for r, p in self.blocks.items()}, meta=self.meta
+        )
+
+    def add(self, owner: int, payload: Any) -> None:
+        """Insert a block, refusing silent overwrite of a different one."""
+        if owner in self.blocks:
+            raise KeyError(f"block for rank {owner} already present")
+        self.blocks[owner] = payload
+
+    def merge(self, other: "BlockSet") -> None:
+        """Union another block set into this one."""
+        for owner, payload in other.blocks.items():
+            if owner not in self.blocks:
+                self.blocks[owner] = payload
+
+    def subset(self, owners: list[int]) -> "BlockSet":
+        """New :class:`BlockSet` holding only *owners* (must be present)."""
+        return BlockSet({o: self.blocks[o] for o in owners})
+
+    def owners(self) -> list[int]:
+        """Owner ranks present, ascending."""
+        return sorted(self.blocks)
+
+    def __contains__(self, owner: int) -> bool:
+        return owner in self.blocks
+
+    def __getitem__(self, owner: int) -> Any:
+        return self.blocks[owner]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self.blocks))
+
+    def as_list(self, size: int) -> list[Any]:
+        """Blocks ordered 0..size-1 (all must be present)."""
+        missing = [r for r in range(size) if r not in self.blocks]
+        if missing:
+            raise KeyError(f"missing blocks for ranks {missing[:8]}")
+        return [self.blocks[r] for r in range(size)]
+
+    def __repr__(self) -> str:
+        return f"BlockSet(owners={self.owners()[:8]}, nbytes={self.nbytes})"

@@ -1,0 +1,304 @@
+"""SMP-aware (hierarchical, leader-based) collectives — the pure-MPI baseline.
+
+The paper's Fig 3a describes the tuned pure-MPI allgather on multi-core
+clusters: (1) on-node ranks *gather* their blocks at the node leader via
+shared-memory p2p; (2) leaders exchange aggregated blocks across nodes;
+(3) leaders *broadcast* the full result to their on-node children.  Every
+process ends up with a private copy of the full result — the per-node
+memory copies in stages (1) and (3) are precisely what the hybrid
+MPI+MPI approach removes.
+
+The wrappers below build (and cache) internal shared-memory and bridge
+sub-communicators using the same ``split``/``split_type`` machinery user
+code uses, then compose the flat algorithms from the sibling modules.
+
+A multi-leader variant (Kandalla et al. 2009, the paper's [14]) is
+provided for ablation: ``k`` leaders per node each own a slice of the
+node's ranks and a parallel bridge communicator, reducing leader-side
+serialization at the cost of more inter-node messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mpi.collectives.blocks import BlockSet
+from repro.mpi.datatypes import nbytes_of
+
+__all__ = [
+    "hier_comms",
+    "hier_allgather",
+    "hier_bcast",
+    "hier_reduce",
+    "hier_allreduce",
+    "multileader_allgather",
+]
+
+
+def hier_comms(comm):
+    """Build (or fetch cached) the node hierarchy of *comm*.
+
+    Returns ``(shm, bridge)`` where *shm* spans this rank's node members
+    and *bridge* spans all node leaders (None on non-leader ranks).
+
+    Membership is a pure function of the globally-known placement, so
+    the sub-communicators come from the comm's deterministic-child
+    registry — no rendezvous, which keeps this safe under concurrent
+    non-blocking collectives.  (A generator for interface symmetry.)
+    """
+    cache = comm.hier_cache
+    if "shm" not in cache:
+        placement = comm.ctx.placement
+        by_node: dict[int, list[int]] = {}
+        for r in range(comm.size):
+            by_node.setdefault(
+                placement.node_of(comm.world_rank_of(r)), []
+            ).append(r)
+        my_node = placement.node_of(comm.ctx.world_rank)
+        shm = comm.subcomm(("hier_shm", my_node), by_node[my_node])
+        leaders = [ranks[0] for _node, ranks in sorted(by_node.items())]
+        bridge = comm.subcomm(("hier_bridge",), leaders)
+        cache["shm"] = shm
+        cache["bridge"] = bridge
+    if False:  # pragma: no cover - keeps this a generator function
+        yield None
+    return cache["shm"], cache["bridge"]
+
+
+def _parent_rank_of(comm, shm, sub_rank: int) -> int:
+    """Translate a shared-memory comm rank to its parent-comm rank."""
+    return comm.group.rank_of(shm.world_rank_of(sub_rank))
+
+
+def _select_shm_bcast(shm, nbytes: int):
+    """Size-appropriate on-node broadcast (binomial vs scatter+allgather).
+
+    Real SMP-aware collectives switch algorithms for the fan-out stage
+    just as for top-level broadcasts; without this the baseline would
+    move n*log(ppn) bytes through node memory for large results and the
+    comparison against the hybrid approach would be a strawman."""
+    from repro.mpi.collectives.bcast import (
+        bcast_binomial,
+        bcast_scatter_allgather,
+    )
+
+    tuning = shm.ctx.tuning
+    if nbytes <= tuning.bcast_binomial_max or shm.size <= 2:
+        return bcast_binomial
+    return bcast_scatter_allgather
+
+
+def hier_allgather(comm, payload: Any, tag: int, select_bridge,
+                   total_nbytes: int | None = None) -> Any:
+    """Leader-based allgather (paper Fig 3a).  Coroutine.
+
+    ``select_bridge(bridge_comm, payload)`` picks the flat algorithm used
+    for the inter-leader exchange (always a *v*-variant when per-node
+    totals differ).  ``total_nbytes`` (the full result size, which MPI
+    programs know from their recvcounts) drives the algorithm choice of
+    the on-node fan-out stage.  Returns the full :class:`BlockSet` keyed
+    by parent comm ranks.
+    """
+    from repro.mpi.collectives.gather import gather_binomial
+
+    shm, bridge = yield from hier_comms(comm)
+    # Stage 1: gather blocks at the node leader (shared-memory p2p).
+    local = yield from gather_binomial(shm, payload, 0, tag)
+    if shm.rank == 0:
+        node_blocks = BlockSet(
+            {
+                _parent_rank_of(comm, shm, sub): blk
+                for sub, blk in local.blocks.items()
+            }
+        )
+    else:
+        node_blocks = None
+    # Stage 2: leaders exchange aggregated node blocks.
+    if bridge is not None and bridge.size > 1:
+        exchanged = yield from select_bridge(bridge, node_blocks, tag)
+        full = BlockSet()
+        for node_set in exchanged.blocks.values():
+            full.merge(node_set)
+    elif bridge is not None:
+        full = node_blocks
+    else:
+        full = None
+    # Stage 3: leader broadcasts the complete result on-node.
+    if total_nbytes is None:
+        total_nbytes = nbytes_of(payload) * comm.size
+    shm_bcast = _select_shm_bcast(shm, total_nbytes)
+    full = yield from shm_bcast(shm, full, 0, tag + 1)
+    return full
+
+
+def hier_bcast(comm, payload: Any, root: int, tag: int, bridge_bcast) -> Any:
+    """Leader-based broadcast: root → its leader → all leaders → children.
+
+    ``bridge_bcast(bridge, payload, root_bridge_rank, tag)`` is the flat
+    algorithm for the inter-leader stage.
+    """
+    shm, bridge = yield from hier_comms(comm)
+    placement = comm.ctx.placement
+    root_world = comm.world_rank_of(root)
+    root_node = placement.node_of(root_world)
+    i_am_root = comm.rank == root
+    root_shm_rank = shm.group.rank_of(root_world)  # UNDEFINED off-node
+    root_on_my_node = shm.group.contains(root_world)
+
+    # Stage 0: root hands the message to its node leader if distinct.
+    if i_am_root and shm.rank != 0:
+        yield from shm.send(payload, 0, tag=tag)
+    if shm.rank == 0 and root_on_my_node and root_shm_rank != 0:
+        payload = yield from shm.recv(source=root_shm_rank, tag=tag)
+    # Stage 1: inter-leader broadcast, rooted at the root-node leader.
+    if bridge is not None and bridge.size > 1:
+        root_bridge_rank = next(
+            bridge.group.rank_of(w)
+            for w in bridge.group.world_ranks()
+            if placement.node_of(w) == root_node
+        )
+        payload = yield from bridge_bcast(bridge, payload, root_bridge_rank, tag)
+    # Stage 2: on-node broadcast from the leader (size known locally:
+    # every rank passed a same-sized buffer, as MPI_Bcast requires).
+    shm_bcast = _select_shm_bcast(shm, nbytes_of(payload))
+    payload = yield from shm_bcast(shm, payload, 0, tag + 1)
+    return payload
+
+
+def hier_reduce(comm, payload: Any, op, root: int, tag: int):
+    """Leader-based reduce: on-node reduce → inter-leader reduce → root."""
+    from repro.mpi.collectives.reduce import reduce_binomial
+
+    shm, bridge = yield from hier_comms(comm)
+    placement = comm.ctx.placement
+    root_world = comm.world_rank_of(root)
+    root_node = placement.node_of(root_world)
+    i_am_root = comm.rank == root
+    root_shm_rank = shm.group.rank_of(root_world)  # UNDEFINED off-node
+    root_on_my_node = shm.group.contains(root_world)
+
+    # Stage 1: on-node reduce to the shm leader.
+    partial = yield from reduce_binomial(shm, payload, op, 0, tag)
+    # Stage 2: inter-leader reduce to the root-node leader.
+    result = None
+    if bridge is not None:
+        if bridge.size > 1:
+            root_bridge = next(
+                bridge.group.rank_of(w)
+                for w in bridge.group.world_ranks()
+                if placement.node_of(w) == root_node
+            )
+            result = yield from reduce_binomial(
+                bridge, partial, op, root_bridge, tag
+            )
+        else:
+            result = partial
+    # Stage 3: forward to the true root if it is not its node's leader.
+    if root_shm_rank == 0 and root_on_my_node:
+        return result if i_am_root else None
+    if shm.rank == 0 and root_on_my_node:
+        yield from shm.send(result, root_shm_rank, tag=tag + 2)
+        return None
+    if i_am_root:
+        result = yield from shm.recv(source=0, tag=tag + 2)
+        return result
+    return None
+
+
+def hier_allreduce(comm, payload: Any, op, tag: int, bridge_allreduce):
+    """Leader-based allreduce: on-node reduce → bridge allreduce →
+    on-node broadcast."""
+    from repro.mpi.collectives.reduce import reduce_binomial
+
+    shm, bridge = yield from hier_comms(comm)
+    partial = yield from reduce_binomial(shm, payload, op, 0, tag)
+    if bridge is not None and bridge.size > 1:
+        partial = yield from bridge_allreduce(bridge, partial, op, tag)
+    shm_bcast = _select_shm_bcast(shm, nbytes_of(payload))
+    result = yield from shm_bcast(shm, partial, 0, tag + 1)
+    return result
+
+
+def multileader_allgather(comm, payload: Any, tag: int, leaders_per_node: int,
+                          select_bridge):
+    """Multi-leader allgather (ablation; Kandalla et al. 2009).
+
+    The node's ranks are split round-robin over ``k`` leaders; each leader
+    gathers its slice, exchanges on its own bridge communicator, then the
+    leaders share results on-node and broadcast to their slices.
+    """
+    from repro.mpi.collectives.allgather import allgather_ring
+    from repro.mpi.collectives.gather import gather_binomial
+
+    cache = comm.hier_cache
+    key = f"ml{leaders_per_node}"
+    if key not in cache:
+        shm, _bridge_unused = yield from hier_comms(comm)
+        k = min(leaders_per_node, shm.size)
+        slice_id = shm.rank % k
+        # Slice members, leader flags, and bridge membership are all
+        # derivable from global knowledge -> deterministic children.
+        my_node = comm.ctx.placement.node_of(comm.ctx.world_rank)
+        slice_members = [r for r in range(shm.size) if r % k == slice_id]
+        slice_comm = shm.subcomm(("ml_slice", k, slice_id), slice_members)
+        is_leader = slice_comm.rank == 0
+        # Bridge s: the s-th leader of every node (if that node has one).
+        placement = comm.ctx.placement
+        by_node: dict[int, list[int]] = {}
+        for r in range(comm.size):
+            by_node.setdefault(
+                placement.node_of(comm.world_rank_of(r)), []
+            ).append(r)
+        bridge_members = []
+        for _node, ranks in sorted(by_node.items()):
+            kk = min(leaders_per_node, len(ranks))
+            if slice_id < kk:
+                bridge_members.append(ranks[slice_id])
+        bridge = (
+            comm.subcomm(("ml_bridge", k, slice_id), bridge_members)
+            if is_leader
+            else None
+        )
+        leaders_members = list(range(min(k, shm.size)))
+        leaders_comm = (
+            shm.subcomm(("ml_leaders", k), leaders_members)
+            if is_leader
+            else None
+        )
+        cache[key] = (shm, slice_comm, bridge, leaders_comm, k)
+    shm, slice_comm, bridge, leaders_comm, k = cache[key]
+
+    # Stage 1: gather within each slice.
+    local = yield from gather_binomial(slice_comm, payload, 0, tag)
+    if slice_comm.rank == 0:
+        slice_blocks = BlockSet(
+            {
+                comm.group.rank_of(slice_comm.world_rank_of(sub)): blk
+                for sub, blk in local.blocks.items()
+            }
+        )
+    else:
+        slice_blocks = None
+    # Stage 2: each leader exchanges on its own bridge.
+    if bridge is not None and bridge.size > 1:
+        exchanged = yield from select_bridge(bridge, slice_blocks, tag)
+        part = BlockSet()
+        for node_set in exchanged.blocks.values():
+            part.merge(node_set)
+    elif bridge is not None:
+        part = slice_blocks
+    else:
+        part = None
+    # Stage 3: leaders merge partial results on-node.
+    if leaders_comm is not None and leaders_comm.size > 1:
+        shared = yield from allgather_ring(leaders_comm, part, tag + 1)
+        part = BlockSet()
+        for piece in shared.blocks.values():
+            part.merge(piece)
+    # Stage 4: each leader broadcasts the full result to its slice.
+    # (Children derive the same size from their own block, as MPI's
+    # recvcounts make possible in the real code.)
+    total = nbytes_of(payload) * comm.size
+    shm_bcast = _select_shm_bcast(slice_comm, total)
+    full = yield from shm_bcast(slice_comm, part, 0, tag + 2)
+    return full

@@ -1,0 +1,64 @@
+"""Neighborhood collectives over Cartesian topologies (MPI-3 style).
+
+``MPI_Neighbor_alltoall`` on a :class:`~repro.mpi.cart.CartComm`: each
+rank exchanges one payload with every grid neighbour (2·ndims of them,
+``PROC_NULL`` at open boundaries).  This packages the halo-exchange
+pattern of :mod:`repro.apps.stencil2d` as a single collective, the way
+modern stencil codes write it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mpi.constants import PROC_NULL
+from repro.simulator import AllOf
+
+__all__ = ["neighbor_list", "neighbor_alltoall"]
+
+_BASE_TAG = 2**27 + 9000
+
+
+def neighbor_list(cart) -> list[int]:
+    """Neighbour ranks in MPI's fixed order: for each dimension, the
+    negative-displacement source then the positive-displacement
+    destination.  Entries may be ``PROC_NULL``."""
+    out: list[int] = []
+    for dim in range(len(cart.dims)):
+        lo, hi = cart.shift(dim, 1)
+        out.extend([lo, hi])
+    return out
+
+
+def neighbor_alltoall(cart, payloads: list[Any], tag: int | None = None):
+    """Coroutine: exchange ``payloads[i]`` with the i-th neighbour.
+
+    *payloads* follows :func:`neighbor_list` order; entries toward
+    ``PROC_NULL`` neighbours are ignored.  Returns the received
+    payloads in the same order (None at ``PROC_NULL`` slots).
+    """
+    neighbours = neighbor_list(cart)
+    if len(payloads) != len(neighbours):
+        raise ValueError(
+            f"need {len(neighbours)} payloads (2 per dimension), "
+            f"got {len(payloads)}"
+        )
+    base = _BASE_TAG if tag is None else tag
+    comm = cart.comm
+    reqs = []
+    recv_slots: list[int] = []
+    for i, peer in enumerate(neighbours):
+        if peer == PROC_NULL:
+            continue
+        # Tag by direction so opposing streams can't cross: my send in
+        # slot i is the peer's receive in the opposite slot i^1.
+        reqs.append(comm.isend(payloads[i], peer, tag=base + i))
+        reqs.append(comm.irecv(source=peer, tag=base + (i ^ 1)))
+        recv_slots.append(i)
+    results: list[Any] = [None] * len(neighbours)
+    if reqs:
+        values = yield AllOf([r.event for r in reqs])
+        received = [v[0] for v in values if isinstance(v, tuple)]
+        for slot, payload in zip(recv_slots, received):
+            results[slot] = payload
+    return results

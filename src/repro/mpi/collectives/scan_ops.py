@@ -1,0 +1,62 @@
+"""Prefix reductions: inclusive scan algorithms and exclusive scan.
+
+:mod:`repro.mpi.collectives.reduce` provides the simple linear scan; this
+module adds the log-round algorithms real libraries use plus exscan.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mpi.collectives.reduce import combine
+from repro.mpi.constants import ReduceOp
+from repro.simulator import AllOf
+
+__all__ = ["scan_binomial", "exscan_binomial"]
+
+
+def scan_binomial(comm, payload: Any, op: ReduceOp, tag: int):
+    """Inclusive scan via the classic doubling algorithm (Hillis-Steele):
+    ceil(log2 p) rounds; round k combines with the partial result of the
+    rank 2^k to the left."""
+    size, rank = comm.size, comm.rank
+    acc = payload        # running inclusive prefix
+    carry = payload      # value forwarded to the right
+    distance = 1
+    while distance < size:
+        reqs = []
+        if rank + distance < size:
+            reqs.append(comm.isend(carry, rank + distance, tag=tag))
+        if rank - distance >= 0:
+            reqs.append(comm.irecv(source=rank - distance, tag=tag))
+        results = yield AllOf([r.event for r in reqs])
+        if rank - distance >= 0:
+            incoming, _status = results[-1]
+            acc = combine(incoming, acc, op)
+            carry = combine(incoming, carry, op)
+        distance <<= 1
+    return acc
+
+
+def exscan_binomial(comm, payload: Any, op: ReduceOp, tag: int):
+    """Exclusive scan: rank r gets the reduction of ranks [0, r).
+
+    Rank 0's result is None (MPI leaves it undefined).  Implemented on
+    top of the doubling scan by shifting the carried value."""
+    size, rank = comm.size, comm.rank
+    acc: Any = None      # exclusive prefix (None = identity/undefined)
+    carry = payload
+    distance = 1
+    while distance < size:
+        reqs = []
+        if rank + distance < size:
+            reqs.append(comm.isend(carry, rank + distance, tag=tag))
+        if rank - distance >= 0:
+            reqs.append(comm.irecv(source=rank - distance, tag=tag))
+        results = yield AllOf([r.event for r in reqs])
+        if rank - distance >= 0:
+            incoming, _status = results[-1]
+            acc = incoming if acc is None else combine(incoming, acc, op)
+            carry = combine(incoming, carry, op)
+        distance <<= 1
+    return acc

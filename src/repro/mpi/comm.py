@@ -1,0 +1,507 @@
+"""Communicators: per-rank views over a shared group state.
+
+A communicator is split into:
+
+* :class:`_CommShared` — one object per communicator *instance*, shared
+  by all member ranks: the group, the id used for message matching, and
+  the rendezvous "gates" that implement communicator-creation collectives
+  (``split``, ``split_type``, ``dup``) and shared-window allocation.
+* :class:`Comm` — the per-rank handle the application holds; it knows its
+  own rank and drives coroutines against the shared state.
+
+All blocking methods are generator coroutines: drive them with
+``yield from`` inside a rank program.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.mpi import collectives as _coll
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MAX_INTERNAL_TAG,
+    PROC_NULL,
+    UNDEFINED,
+    ReduceOp,
+)
+from repro.mpi.errors import MPIError
+from repro.mpi.group import Group
+from repro.mpi.p2p import Request, Status
+from repro.simulator import AllOf, Event
+
+__all__ = ["Comm"]
+
+
+class _CommShared:
+    """State shared by every rank's view of one communicator."""
+
+    __slots__ = ("id", "group", "job", "name", "_gates", "_children")
+
+    def __init__(self, job: Any, group: Group, name: str):
+        self.id: int = job.next_comm_id()
+        self.group = group
+        self.job = job
+        self.name = name
+        self._gates: dict[Any, _GateState] = {}
+        # Registry of deterministically-derived child communicators
+        # (internal hierarchies): key -> _CommShared.  Membership is a
+        # pure function of globally-known state (placement + group), so
+        # no rendezvous is needed — whichever rank asks first creates the
+        # shared object, later ranks look it up.  This keeps concurrent
+        # non-blocking collectives safe: no ordering-sensitive gates.
+        self._children: dict[Any, "_CommShared"] = {}
+
+    def deterministic_child(self, key: Any, world_ranks: tuple[int, ...],
+                            name: str) -> "_CommShared":
+        """Shared state of a child comm derived from global knowledge."""
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = _CommShared(
+                self.job, Group(world_ranks), name
+            )
+        elif child.group.world_ranks() != tuple(world_ranks):
+            raise MPIError(
+                f"deterministic child {key!r} of {self.name!r} requested "
+                f"with inconsistent membership"
+            )
+        return child
+
+    def arrive(
+        self,
+        key: Any,
+        rank: int,
+        value: Any,
+        reducer: Callable[[dict[int, Any]], dict[int, Any]],
+    ) -> Event:
+        """Rendezvous: collect one value per rank; the last arrival runs
+        *reducer* over ``{rank: value}`` and the event fires with the
+        resulting ``{rank: result}`` map."""
+        st = self._gates.get(key)
+        if st is None:
+            st = self._gates[key] = _GateState(
+                Event(self.job.engine, name=f"gate{key}")
+            )
+        if rank in st.values:
+            raise MPIError(f"rank {rank} arrived twice at gate {key!r}")
+        st.values[rank] = value
+        if len(st.values) == self.group.size:
+            del self._gates[key]
+            st.event.succeed(reducer(st.values))
+        return st.event
+
+
+class _GateState:
+    __slots__ = ("values", "event")
+
+    def __init__(self, event: Event):
+        self.values: dict[int, Any] = {}
+        self.event = event
+
+
+class Comm:
+    """A per-rank communicator handle.
+
+    Attributes
+    ----------
+    rank:
+        This process's rank within the communicator.
+    size:
+        Number of member processes.
+    """
+
+    __slots__ = ("_shared", "_ctx", "rank", "_coll_seq", "_gate_seq", "_hier")
+
+    def __init__(self, shared: _CommShared, ctx: Any):
+        self._shared = shared
+        self._ctx = ctx
+        self.rank = shared.group.rank_of(ctx.world_rank)
+        if self.rank == UNDEFINED:
+            raise MPIError(
+                f"world rank {ctx.world_rank} is not in communicator "
+                f"{shared.name!r}"
+            )
+        self._coll_seq = 0
+        self._gate_seq = 0
+        self._hier: dict[str, Any] = {}
+
+    @property
+    def hier_cache(self) -> dict[str, Any]:
+        """Per-rank cache of internal hierarchy sub-communicators."""
+        return self._hier
+
+    # -- basic queries -----------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks in this communicator."""
+        return self._shared.group.size
+
+    @property
+    def name(self) -> str:
+        """Communicator debug name."""
+        return self._shared.name
+
+    @property
+    def group(self) -> Group:
+        """The underlying group."""
+        return self._shared.group
+
+    @property
+    def id(self) -> int:
+        """Runtime-unique communicator id (matching namespace)."""
+        return self._shared.id
+
+    @property
+    def ctx(self) -> Any:
+        """The owning rank context."""
+        return self._ctx
+
+    def world_rank_of(self, comm_rank: int) -> int:
+        """Translate a rank of this communicator to a world rank."""
+        return self._shared.group.world_rank(comm_rank)
+
+    def node_of(self, comm_rank: int) -> int:
+        """Machine node hosting *comm_rank*."""
+        return self._ctx.placement.node_of(self.world_rank_of(comm_rank))
+
+    # -- point-to-point ------------------------------------------------------
+    def send(self, payload: Any, dest: int, tag: int = 0):
+        """Blocking send (coroutine)."""
+        if dest == PROC_NULL:
+            return
+        req = self.isend(payload, dest, tag)
+        yield req.event
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; returns a :class:`Request`."""
+        if dest == PROC_NULL:
+            ev = Event(self._ctx.engine, name="send.null")
+            ev.succeed(None)
+            return Request(ev, "send")
+        self._check_peer(dest)
+        done = self._ctx.msg_engine.post_send(
+            comm_id=self._shared.id,
+            src_world=self._ctx.world_rank,
+            src_comm_rank=self.rank,
+            dst_world=self.world_rank_of(dest),
+            payload=payload,
+            tag=tag,
+        )
+        return Request(done, "send")
+
+    def recv(self, buf: Any = None, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive (coroutine); returns the payload."""
+        payload, _status = yield from self.recv_status(buf, source, tag)
+        return payload
+
+    def recv_status(
+        self, buf: Any = None, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ):
+        """Blocking receive returning ``(payload, Status)``."""
+        if source == PROC_NULL:
+            return None, Status(source=PROC_NULL, tag=tag, nbytes=0)
+        req = self.irecv(buf, source, tag)
+        payload, status = yield req.event
+        return payload, status
+
+    def irecv(
+        self, buf: Any = None, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Request:
+        """Non-blocking receive; completion value is ``(payload, Status)``."""
+        if source == PROC_NULL:
+            ev = Event(self._ctx.engine, name="recv.null")
+            ev.succeed((None, Status(source=PROC_NULL, tag=tag, nbytes=0)))
+            return Request(ev, "recv")
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        ev = self._ctx.msg_engine.post_recv(
+            comm_id=self._shared.id,
+            dst_world=self._ctx.world_rank,
+            source=source,
+            tag=tag,
+            buf=buf,
+        )
+        return Request(ev, "recv")
+
+    def sendrecv(
+        self,
+        sendpayload: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        recvbuf: Any = None,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ):
+        """Simultaneous send and receive (coroutine); returns payload."""
+        rreq = self.irecv(recvbuf, source, recvtag)
+        sreq = self.isend(sendpayload, dest, sendtag)
+        results = yield AllOf([rreq.event, sreq.event])
+        payload, _status = results[0]
+        return payload
+
+    @staticmethod
+    def wait(request: Request):
+        """Wait for one request (coroutine); returns its value."""
+        value = yield request.event
+        return value
+
+    @staticmethod
+    def waitall(requests: list[Request]):
+        """Wait for all requests (coroutine); returns values in order."""
+        values = yield AllOf([r.event for r in requests])
+        return values
+
+    # -- collectives ---------------------------------------------------------
+    def _next_coll_tag(self) -> int:
+        self._coll_seq += 1
+        return MAX_INTERNAL_TAG + self._coll_seq
+
+    def _profiled(self, op: str, nbytes: int, gen):
+        """Coroutine: run a dispatch generator, recording op statistics."""
+        t0 = self._ctx.engine.now
+        result = yield from gen
+        self._ctx.profile.record(op, nbytes, self._ctx.engine.now - t0)
+        return result
+
+    def barrier(self):
+        """Barrier over all member ranks (coroutine)."""
+        yield from self._profiled(
+            "barrier", 0,
+            _coll.dispatch_barrier(self, self._next_coll_tag()),
+        )
+
+    def bcast(self, payload: Any, root: int = 0):
+        """Broadcast from *root*; returns the payload on every rank."""
+        from repro.mpi.datatypes import nbytes_of
+
+        return (
+            yield from self._profiled(
+                "bcast", nbytes_of(payload),
+                _coll.dispatch_bcast(
+                    self, payload, root, self._next_coll_tag()
+                ),
+            )
+        )
+
+    def gather(self, payload: Any, root: int = 0):
+        """Gather to *root*; returns list of payloads (None elsewhere)."""
+        return (
+            yield from _coll.dispatch_gather(
+                self, payload, root, self._next_coll_tag()
+            )
+        )
+
+    def gatherv(self, payload: Any, root: int = 0):
+        """Irregular gather to *root* (per-rank sizes may differ)."""
+        return (
+            yield from _coll.dispatch_gather(
+                self, payload, root, self._next_coll_tag(), irregular=True
+            )
+        )
+
+    def scatter(self, payloads: list[Any] | None, root: int = 0):
+        """Scatter list *payloads* (significant at root); returns own part."""
+        return (
+            yield from _coll.dispatch_scatter(
+                self, payloads, root, self._next_coll_tag()
+            )
+        )
+
+    def allgather(self, payload: Any):
+        """Regular allgather; returns the list of per-rank payloads."""
+        from repro.mpi.datatypes import nbytes_of
+
+        return (
+            yield from self._profiled(
+                "allgather", nbytes_of(payload) * self.size,
+                _coll.dispatch_allgather(
+                    self, payload, self._next_coll_tag()
+                ),
+            )
+        )
+
+    def allgatherv(self, payload: Any):
+        """Irregular allgather (per-rank sizes may differ)."""
+        from repro.mpi.datatypes import nbytes_of
+
+        return (
+            yield from self._profiled(
+                "allgatherv", nbytes_of(payload) * self.size,
+                _coll.dispatch_allgatherv(
+                    self, payload, self._next_coll_tag()
+                ),
+            )
+        )
+
+    def reduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0):
+        """Reduce to *root*; returns the reduction there, None elsewhere."""
+        return (
+            yield from _coll.dispatch_reduce(
+                self, payload, op, root, self._next_coll_tag()
+            )
+        )
+
+    def allreduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM):
+        """Allreduce; returns the reduction on every rank."""
+        from repro.mpi.datatypes import nbytes_of
+
+        return (
+            yield from self._profiled(
+                "allreduce", nbytes_of(payload),
+                _coll.dispatch_allreduce(
+                    self, payload, op, self._next_coll_tag()
+                ),
+            )
+        )
+
+    def alltoall(self, payloads: list[Any]):
+        """All-to-all personalized exchange; returns received list."""
+        return (
+            yield from _coll.dispatch_alltoall(
+                self, payloads, self._next_coll_tag()
+            )
+        )
+
+    def scan(self, payload: Any, op: ReduceOp = ReduceOp.SUM):
+        """Inclusive prefix reduction."""
+        return (
+            yield from _coll.dispatch_scan(
+                self, payload, op, self._next_coll_tag()
+            )
+        )
+
+    def exscan(self, payload: Any, op: ReduceOp = ReduceOp.SUM):
+        """Exclusive prefix reduction (None on rank 0)."""
+        return (
+            yield from _coll.dispatch_exscan(
+                self, payload, op, self._next_coll_tag()
+            )
+        )
+
+    def reduce_scatter(self, payload: Any, op: ReduceOp = ReduceOp.SUM):
+        """Block reduce-scatter: returns this rank's reduced block."""
+        return (
+            yield from _coll.dispatch_reduce_scatter(
+                self, payload, op, self._next_coll_tag()
+            )
+        )
+
+    # -- non-blocking collectives ------------------------------------------
+    def _icoll(self, name: str, gen) -> Request:
+        """Spawn a collective as a background process (MPI-3 style)."""
+        proc = self._ctx.engine.spawn(
+            gen, name=f"{self.name}.{name}@r{self.rank}"
+        )
+        return Request(proc, name)
+
+    def ibarrier(self) -> Request:
+        """Non-blocking barrier; wait on the returned request."""
+        return self._icoll(
+            "ibarrier", _coll.dispatch_barrier(self, self._next_coll_tag())
+        )
+
+    def ibcast(self, payload: Any, root: int = 0) -> Request:
+        """Non-blocking broadcast; request value is the payload."""
+        return self._icoll(
+            "ibcast",
+            _coll.dispatch_bcast(self, payload, root, self._next_coll_tag()),
+        )
+
+    def iallgather(self, payload: Any) -> Request:
+        """Non-blocking allgather; request value is the payload list."""
+        return self._icoll(
+            "iallgather",
+            _coll.dispatch_allgather(self, payload, self._next_coll_tag()),
+        )
+
+    def iallreduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM) -> Request:
+        """Non-blocking allreduce; request value is the result."""
+        return self._icoll(
+            "iallreduce",
+            _coll.dispatch_allreduce(self, payload, op, self._next_coll_tag()),
+        )
+
+    # -- communicator management ----------------------------------------------
+    def _gate(self, op: str, value: Any, reducer):
+        """Coroutine helper: rendezvous all ranks of this comm."""
+        self._gate_seq += 1
+        key = (op, self._gate_seq)
+        results = yield self._shared.arrive(key, self.rank, value, reducer)
+        return results[self.rank]
+
+    def split(self, color: int, key: int = 0):
+        """``MPI_Comm_split`` (coroutine): returns the new :class:`Comm`
+        for this rank, or None when *color* is ``UNDEFINED``."""
+        job = self._shared.job
+        parent_group = self._shared.group
+
+        def reducer(values: dict[int, tuple[int, int]]) -> dict[int, Any]:
+            by_color: dict[int, list[tuple[int, int]]] = {}
+            for rank, (col, k) in values.items():
+                if col == UNDEFINED:
+                    continue
+                by_color.setdefault(col, []).append((k, rank))
+            shared_of_color: dict[int, _CommShared] = {}
+            for col, members in by_color.items():
+                members.sort()
+                world = [parent_group.world_rank(r) for _k, r in members]
+                shared_of_color[col] = _CommShared(
+                    job, Group(world), name=f"{self.name}.split({col})"
+                )
+            return {
+                rank: (None if col == UNDEFINED else shared_of_color[col])
+                for rank, (col, _k) in values.items()
+            }
+
+        shared = yield from self._gate("split", (color, key), reducer)
+        if shared is None:
+            return None
+        return Comm(shared, self._ctx)
+
+    def split_type_shared(self, key: int = 0):
+        """``MPI_Comm_split_type(..., MPI_COMM_TYPE_SHARED, ...)``:
+        split into per-node (shared-memory) communicators."""
+        node = self._ctx.placement.node_of(self._ctx.world_rank)
+        return (yield from self.split(color=node, key=key))
+
+    def subcomm(self, key: Any, members: list[int]):
+        """Non-collective child communicator from globally-known state.
+
+        *members* lists the parent-comm ranks of the child, identically
+        derivable on every rank (e.g. "the ranks on my node" from the
+        placement).  Used by internal hierarchical collectives, where a
+        rendezvous-based split would be unsafe under concurrent
+        non-blocking collectives.  Returns None when this rank is not a
+        member.
+        """
+        world = tuple(self.world_rank_of(r) for r in members)
+        if self._ctx.world_rank not in world:
+            return None
+        shared = self._shared.deterministic_child(
+            key, world, name=f"{self.name}.sub{key}"
+        )
+        return Comm(shared, self._ctx)
+
+    def dup(self):
+        """Duplicate the communicator (fresh matching namespace)."""
+        job = self._shared.job
+        group = self._shared.group
+
+        def reducer(values: dict[int, Any]) -> dict[int, Any]:
+            shared = _CommShared(job, group, name=f"{self.name}.dup")
+            return {rank: shared for rank in values}
+
+        shared = yield from self._gate("dup", None, reducer)
+        return Comm(shared, self._ctx)
+
+    # -- internals ------------------------------------------------------------
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise MPIError(
+                f"peer rank {peer} out of range for {self.name!r} "
+                f"(size {self.size})"
+            )
+
+    def __repr__(self) -> str:
+        return f"<Comm {self.name!r} rank={self.rank}/{self.size}>"

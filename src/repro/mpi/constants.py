@@ -1,0 +1,46 @@
+"""MPI-style constants used across the simulated runtime."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "COMM_TYPE_SHARED",
+    "UNDEFINED",
+    "PROC_NULL",
+    "ReduceOp",
+    "MAX_INTERNAL_TAG",
+]
+
+#: Wildcard source for :meth:`Comm.recv`.
+ANY_SOURCE: int = -1
+
+#: Wildcard tag for :meth:`Comm.recv`.
+ANY_TAG: int = -1
+
+#: ``split_type`` argument selecting on-node (shared-memory) grouping.
+COMM_TYPE_SHARED: int = 1
+
+#: Color value excluding a rank from a :meth:`Comm.split`.
+UNDEFINED: int = -32766
+
+#: Null peer: send/recv to PROC_NULL complete immediately, moving no data.
+PROC_NULL: int = -2
+
+#: Tags >= this value are reserved for internal collective protocols.
+MAX_INTERNAL_TAG: int = 2**28
+
+
+class ReduceOp(enum.Enum):
+    """Reduction operators supported by reduce/allreduce/scan."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MIN = "min"
+    MAX = "max"
+    LAND = "land"
+    LOR = "lor"
+    BAND = "band"
+    BOR = "bor"

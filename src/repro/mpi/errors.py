@@ -1,0 +1,36 @@
+"""Exception hierarchy of the simulated MPI runtime."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MPIError",
+    "TruncationError",
+    "CommMismatchError",
+    "RootMismatchError",
+    "WindowError",
+]
+
+
+class MPIError(RuntimeError):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class TruncationError(MPIError):
+    """A received message was larger than the posted receive buffer.
+
+    Real MPI flags this as ``MPI_ERR_TRUNCATE``; we raise eagerly because
+    it is always a bug in the calling program.
+    """
+
+
+class CommMismatchError(MPIError):
+    """A collective was invoked inconsistently across a communicator
+    (mismatched counts, different operations, or a rank missing)."""
+
+
+class RootMismatchError(MPIError):
+    """Ranks disagreed about the root of a rooted collective."""
+
+
+class WindowError(MPIError):
+    """Invalid use of a shared-memory window."""

@@ -1,0 +1,69 @@
+"""Process groups: ordered sets of world ranks (MPI_Group analogue)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.mpi.constants import UNDEFINED
+
+__all__ = ["Group"]
+
+
+class Group:
+    """An immutable, ordered list of world ranks.
+
+    A communicator's rank *r* is the world rank ``group.world_rank(r)``;
+    the inverse map is :meth:`rank_of`.
+    """
+
+    __slots__ = ("_ranks", "_index")
+
+    def __init__(self, world_ranks: Sequence[int]):
+        ranks = [int(r) for r in world_ranks]
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("group contains duplicate ranks")
+        if not ranks:
+            raise ValueError("group must be non-empty")
+        if any(r < 0 for r in ranks):
+            raise ValueError("negative world rank in group")
+        self._ranks = tuple(ranks)
+        self._index = {w: i for i, w in enumerate(ranks)}
+
+    @property
+    def size(self) -> int:
+        """Number of processes in the group."""
+        return len(self._ranks)
+
+    def world_rank(self, comm_rank: int) -> int:
+        """World rank of group member *comm_rank*."""
+        return self._ranks[comm_rank]
+
+    def rank_of(self, world_rank: int) -> int:
+        """Group rank of *world_rank*, or ``UNDEFINED`` if absent."""
+        return self._index.get(world_rank, UNDEFINED)
+
+    def contains(self, world_rank: int) -> bool:
+        """True if *world_rank* belongs to the group."""
+        return world_rank in self._index
+
+    def world_ranks(self) -> tuple[int, ...]:
+        """All members as world ranks, in group order."""
+        return self._ranks
+
+    def translate(self, comm_ranks: Iterable[int]) -> list[int]:
+        """Map several group ranks to world ranks."""
+        return [self._ranks[r] for r in comm_ranks]
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and other._ranks == self._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    def __repr__(self) -> str:
+        show = ", ".join(map(str, self._ranks[:8]))
+        more = "" if self.size <= 8 else f", …(+{self.size - 8})"
+        return f"Group([{show}{more}])"

@@ -1,0 +1,307 @@
+"""Point-to-point messaging: matching, protocols, and timing.
+
+One :class:`MessageEngine` per job owns every in-flight message.  The
+protocol model follows what MPICH/Open MPI/Cray MPI actually do:
+
+**Inter-node**
+
+* *eager* (``nbytes <= eager_threshold``): the sender injects immediately
+  and completes once its NIC has serialized the message; delivery happens
+  whether or not the receive is posted (unexpected-message queue).
+* *rendezvous* (large): the transfer starts only after the matching
+  receive is posted, costs an RTS/CTS handshake (one extra round trip),
+  and both sides complete at transfer end.
+
+**Intra-node** (the traffic hybrid MPI+MPI eliminates)
+
+* *eager / CICO*: sender pays one latency hop plus a copy into the
+  shared staging area (contended node memory), then completes; the
+  receiver later pays the copy *out* of staging.  Two full copies total.
+* *rendezvous / LMT single-copy*: for large messages both sides
+  synchronize and a single direct copy moves the data.
+
+Every payload is snapshotted at send time (value semantics), and receives
+enforce buffer sizes (:class:`~repro.mpi.errors.TruncationError`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machine.model import Machine
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.datatypes import clone, copy_into, nbytes_of
+from repro.mpi.errors import MPIError, TruncationError
+from repro.simulator import AllOf, Engine, Event
+
+__all__ = ["MessageEngine", "Request", "Status"]
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion metadata of a receive (MPI_Status analogue)."""
+
+    source: int  # comm rank of the sender
+    tag: int
+    nbytes: int
+
+
+class Request:
+    """Handle for a non-blocking operation.
+
+    ``yield req.event`` (or :meth:`Comm.wait` / :meth:`Comm.waitall`)
+    suspends until completion.  For receives, ``req.event``'s value is a
+    ``(payload, Status)`` pair.
+    """
+
+    __slots__ = ("event", "kind")
+
+    def __init__(self, event: Event, kind: str):
+        self.event = event
+        self.kind = kind
+
+    @property
+    def complete(self) -> bool:
+        """True once the operation has finished."""
+        return self.event.triggered
+
+    def __repr__(self) -> str:
+        return f"<Request {self.kind} complete={self.complete}>"
+
+
+class _SendRec:
+    __slots__ = (
+        "src_world", "src_comm_rank", "dst_world", "tag", "payload",
+        "nbytes", "eager", "intra", "node", "src_node", "dst_node",
+        "matched", "arrived", "sender_done", "seq",
+    )
+
+    def __init__(self, **kw: Any):
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+
+class _RecvRec:
+    __slots__ = ("source", "tag", "buf", "event", "seq")
+
+    def __init__(self, source: int, tag: int, buf: Any, event: Event, seq: int):
+        self.source = source
+        self.tag = tag
+        self.buf = buf
+        self.event = event
+        self.seq = seq
+
+
+@dataclass
+class _MatchQueue:
+    """Per-(comm, destination) matching state."""
+
+    pending_sends: deque = field(default_factory=deque)
+    pending_recvs: deque = field(default_factory=deque)
+
+
+class MessageEngine:
+    """Owns message matching and transfer scheduling for one job."""
+
+    def __init__(self, engine: Engine, machine: Machine):
+        self.engine = engine
+        self.machine = machine
+        self._queues: dict[tuple[int, int], _MatchQueue] = {}
+        self._seq = 0
+        self.sent_messages = 0
+        self.sent_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    def _queue(self, comm_id: int, dst_world: int) -> _MatchQueue:
+        key = (comm_id, dst_world)
+        q = self._queues.get(key)
+        if q is None:
+            q = self._queues[key] = _MatchQueue()
+        return q
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- send ------------------------------------------------------------
+    def post_send(
+        self,
+        comm_id: int,
+        src_world: int,
+        src_comm_rank: int,
+        dst_world: int,
+        payload: Any,
+        tag: int,
+    ) -> Event:
+        """Post a send; returns the sender-completion event."""
+        eng = self.engine
+        machine = self.machine
+        placement = machine._placement  # set by the runtime at job start
+        src_node = placement.node_of(src_world)
+        dst_node = placement.node_of(dst_world)
+        intra = src_node == dst_node
+        nbytes = nbytes_of(payload)
+        eager = nbytes <= machine.spec.network.eager_threshold
+        rec = _SendRec(
+            src_world=src_world,
+            src_comm_rank=src_comm_rank,
+            dst_world=dst_world,
+            tag=tag,
+            payload=clone(payload),
+            nbytes=nbytes,
+            eager=eager,
+            intra=intra,
+            node=src_node,
+            src_node=src_node,
+            dst_node=dst_node,
+            matched=Event(eng, name=f"send.matched s{src_world}->d{dst_world}"),
+            arrived=Event(eng, name=f"send.arrived s{src_world}->d{dst_world}"),
+            sender_done=Event(eng, name=f"send.done s{src_world}->d{dst_world}"),
+            seq=self._next_seq(),
+        )
+        self.sent_messages += 1
+        self.sent_bytes += nbytes
+        q = self._queue(comm_id, dst_world)
+        q.pending_sends.append(rec)
+        eng.spawn(self._sender_process(rec), name=f"msg{rec.seq}.xfer")
+        self._try_match(q)
+        return rec.sender_done
+
+    def _sender_process(self, rec: _SendRec):
+        eng = self.engine
+        machine = self.machine
+        net = machine.network
+        if rec.intra:
+            if rec.eager:
+                # CICO copy-in: latency hop + contended copy into staging.
+                yield eng.timeout(machine.spec.node.shm_latency)
+                yield from machine.memory_copy(rec.node, rec.nbytes)
+                rec.sender_done.succeed()
+                rec.arrived.succeed()
+            else:
+                # LMT single-copy: wait for the receive, then copy once.
+                yield rec.matched
+                yield eng.timeout(machine.spec.node.shm_latency)
+                yield from machine.memory_copy(rec.node, rec.nbytes)
+                rec.sender_done.succeed()
+                rec.arrived.succeed()
+        else:
+            if rec.eager:
+                tx = net.nic_tx(rec.src_node).transfer(rec.nbytes)
+                rx = net.nic_rx(rec.dst_node).transfer(rec.nbytes)
+                yield tx
+                rec.sender_done.succeed()
+                yield rx
+                yield eng.timeout(net.latency(rec.src_node, rec.dst_node))
+                rec.arrived.succeed()
+            else:
+                yield rec.matched
+                yield eng.timeout(
+                    net.rendezvous_latency(rec.src_node, rec.dst_node)
+                )
+                tx = net.nic_tx(rec.src_node).transfer(rec.nbytes)
+                rx = net.nic_rx(rec.dst_node).transfer(rec.nbytes)
+                yield AllOf([tx, rx])
+                yield eng.timeout(net.latency(rec.src_node, rec.dst_node))
+                net.stats.record(
+                    rec.src_node, rec.dst_node, rec.nbytes,
+                    net.topology.hops(rec.src_node, rec.dst_node),
+                    rendezvous=True,
+                )
+                rec.sender_done.succeed()
+                rec.arrived.succeed()
+        if rec.intra:
+            pass
+        elif rec.eager:
+            net.stats.record(
+                rec.src_node, rec.dst_node, rec.nbytes,
+                net.topology.hops(rec.src_node, rec.dst_node),
+                rendezvous=False,
+            )
+
+    # -- recv ------------------------------------------------------------
+    def post_recv(
+        self,
+        comm_id: int,
+        dst_world: int,
+        source: int,
+        tag: int,
+        buf: Any,
+    ) -> Event:
+        """Post a receive; the returned event's value is (payload, Status)."""
+        ev = Event(
+            self.engine, name=f"recv d{dst_world} src={source} tag={tag}"
+        )
+        rec = _RecvRec(source, tag, buf, ev, self._next_seq())
+        q = self._queue(comm_id, dst_world)
+        q.pending_recvs.append(rec)
+        self._try_match(q)
+        return ev
+
+    # -- matching ----------------------------------------------------------
+    @staticmethod
+    def _matches(recv: _RecvRec, send: _SendRec) -> bool:
+        src_ok = recv.source == ANY_SOURCE or recv.source == send.src_comm_rank
+        tag_ok = recv.tag == ANY_TAG or recv.tag == send.tag
+        return src_ok and tag_ok
+
+    def _try_match(self, q: _MatchQueue) -> None:
+        # Repeatedly pair the earliest-posted receive with the
+        # earliest-posted matching send (MPI non-overtaking order).
+        progress = True
+        while progress:
+            progress = False
+            for recv in list(q.pending_recvs):
+                chosen = None
+                for send in q.pending_sends:
+                    if self._matches(recv, send):
+                        chosen = send
+                        break
+                if chosen is not None:
+                    q.pending_recvs.remove(recv)
+                    q.pending_sends.remove(chosen)
+                    self._start_delivery(chosen, recv)
+                    progress = True
+                    break
+
+    def _start_delivery(self, send: _SendRec, recv: _RecvRec) -> None:
+        if not send.matched.triggered:
+            send.matched.succeed()
+        self.engine.spawn(
+            self._deliver_process(send, recv),
+            name=f"msg{send.seq}.deliver",
+        )
+
+    def _deliver_process(self, send: _SendRec, recv: _RecvRec):
+        yield send.arrived
+        machine = self.machine
+        if send.intra and send.eager:
+            # CICO copy-out of the staged message, paid by the receiver.
+            yield from machine.memory_copy(send.dst_node, send.nbytes)
+        try:
+            payload = copy_into(recv.buf, send.payload)
+        except ValueError as exc:
+            recv.event.fail(TruncationError(str(exc)))
+            return
+        status = Status(
+            source=send.src_comm_rank, tag=send.tag, nbytes=send.nbytes
+        )
+        recv.event.succeed((payload, status))
+
+    # -- diagnostics -------------------------------------------------------
+    def pending_counts(self) -> tuple[int, int]:
+        """(unmatched sends, unmatched recvs) across all queues."""
+        s = sum(len(q.pending_sends) for q in self._queues.values())
+        r = sum(len(q.pending_recvs) for q in self._queues.values())
+        return s, r
+
+    def assert_drained(self) -> None:
+        """Raise if any message was never matched (program bug)."""
+        s, r = self.pending_counts()
+        if s or r:
+            raise MPIError(
+                f"job finished with {s} unmatched send(s) and {r} "
+                f"unmatched recv(s)"
+            )

@@ -1,0 +1,289 @@
+"""Job runner: execute one generator program per MPI rank in virtual time.
+
+The analogue of ``mpirun``: :class:`MPIJob` builds the engine, the
+machine, the placement, the message engine, and ``COMM_WORLD``; spawns
+one process per rank running the user *program*; and collects results and
+statistics into a :class:`JobResult`.
+
+A rank program is a generator taking the per-rank :class:`RankContext`::
+
+    def program(mpi):
+        comm = mpi.world
+        token = yield from comm.bcast(np.arange(4.0), root=0)
+        yield mpi.compute_flops(1e6, kind="gemm")   # charge compute time
+        return float(token.sum())
+
+    result = run_program(hazel_hen(4), nprocs=96, program=program)
+    result.returns      # per-rank return values
+    result.elapsed      # virtual seconds until the last rank finished
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.machine.model import Machine, MachineSpec
+from repro.machine.noise import NoiseModel
+from repro.machine.placement import Placement
+from repro.mpi.collectives.tuning import CollectiveTuning, tuning_for_machine
+from repro.mpi.comm import Comm, _CommShared
+from repro.mpi.datatypes import Bytes
+from repro.mpi.group import Group
+from repro.mpi.p2p import MessageEngine
+from repro.mpi.profiler import CommProfile, aggregate_profiles
+from repro.mpi.shm import win_allocate_shared
+from repro.simulator import Engine, Event
+
+import numpy as np
+
+__all__ = ["RankContext", "MPIJob", "JobResult", "run_program"]
+
+
+class RankContext:
+    """Everything one simulated MPI rank can see.
+
+    Attributes
+    ----------
+    world_rank:
+        Rank in ``COMM_WORLD``.
+    world:
+        The world communicator view (:class:`~repro.mpi.comm.Comm`).
+    engine, machine, placement:
+        Shared simulation infrastructure.
+    data_mode:
+        True when payloads carry real NumPy data.
+    """
+
+    __slots__ = (
+        "world_rank", "engine", "machine", "placement", "job",
+        "world", "data_mode", "tuning", "trace", "rng", "profile",
+        "noise", "_noise_rng",
+    )
+
+    def __init__(self, job: "MPIJob", world_rank: int):
+        self.job = job
+        self.world_rank = world_rank
+        self.engine = job.engine
+        self.machine = job.machine
+        self.placement = job.placement
+        self.data_mode = job.payload_mode == "data"
+        self.tuning = job.tuning
+        self.trace = job.trace_log if job.trace else None
+        self.world: Comm = None  # type: ignore[assignment] - set by MPIJob
+        self.rng = np.random.default_rng(job.seed + world_rank)
+        self.profile = CommProfile()
+        self.noise = job.noise
+        self._noise_rng = (
+            job.noise.stream_for(world_rank) if job.noise else None
+        )
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def node(self) -> int:
+        """Machine node hosting this rank."""
+        return self.placement.node_of(self.world_rank)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, seconds."""
+        return self.engine.now
+
+    @property
+    def msg_engine(self) -> MessageEngine:
+        """The job-wide message engine (used by Comm internals)."""
+        return self.job.msg_engine
+
+    # -- compute charging ------------------------------------------------------
+    def compute(self, seconds: float) -> Event:
+        """Waitable advancing virtual time by *seconds* of computation.
+
+        When the job carries a :class:`~repro.machine.noise.NoiseModel`,
+        the charge is perturbed by this rank's deterministic noise
+        stream."""
+        if self.noise is not None:
+            seconds = self.noise.perturb(seconds, self._noise_rng)
+        return self.engine.timeout(seconds)
+
+    def compute_flops(self, flops: float, kind: str = "default") -> Event:
+        """Waitable charging *flops* of kernel class *kind* (noise-aware)."""
+        model = self.machine.spec.compute
+        return self.compute(model.flops_time(flops, kind))
+
+    def compute_gemm(self, m: int, n: int, k: int) -> Event:
+        """Waitable charging one local dense GEMM (noise-aware)."""
+        model = self.machine.spec.compute
+        return self.compute(model.gemm_time(m, n, k))
+
+    def touch(self, nbytes: float):
+        """Coroutine: stream *nbytes* through this node's memory system."""
+        result = yield from self.machine.shared_touch(self.node, nbytes)
+        return result
+
+    # -- payload helpers ------------------------------------------------------
+    def payload(self, nbytes: int, fill: Any = None) -> Any:
+        """A payload of *nbytes*: real zero/filled bytes in data mode,
+        symbolic :class:`Bytes` otherwise."""
+        if not self.data_mode:
+            return Bytes(nbytes)
+        arr = np.zeros(nbytes, dtype=np.uint8)
+        if fill is not None:
+            arr[:] = fill
+        return arr
+
+    def doubles(self, count: int, fill: float | None = None) -> Any:
+        """A payload of *count* float64 elements."""
+        if not self.data_mode:
+            return Bytes(count * 8)
+        arr = np.zeros(count, dtype=np.float64)
+        if fill is not None:
+            arr[:] = fill
+        return arr
+
+    # -- MPI-3 SHM ------------------------------------------------------------
+    def win_allocate_shared(self, comm: Comm, nbytes: int):
+        """Coroutine: allocate a shared window over *comm* (must be a
+        single-node communicator)."""
+        win = yield from win_allocate_shared(comm, nbytes)
+        return win
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated MPI job."""
+
+    returns: list[Any]
+    elapsed: float
+    finish_times: list[float]
+    events_processed: int
+    sent_messages: int
+    sent_bytes: float
+    intra_copies: int
+    intra_bytes: float
+    network_messages: int
+    network_bytes: float
+    trace: list[dict] | None = None
+    placement: Placement | None = None
+    profiles: list[CommProfile] = field(default_factory=list)
+
+    def max_rank_time(self) -> float:
+        """Virtual time when the slowest rank finished."""
+        return max(self.finish_times)
+
+    def comm_summary(self) -> dict:
+        """Job-wide per-operation communication statistics: calls and
+        bytes summed over ranks, time as the per-rank maximum."""
+        merged = aggregate_profiles(self.profiles)
+        return {
+            op: {"calls": s.calls, "bytes": s.bytes, "time": s.time}
+            for op, s in sorted(merged.items())
+        }
+
+
+class MPIJob:
+    """One simulated MPI execution."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        program: Callable[..., Any],
+        nprocs: int | None = None,
+        placement: Placement | None = None,
+        payload_mode: str = "data",
+        tuning: CollectiveTuning | None = None,
+        trace: bool = False,
+        link_contention: bool = False,
+        seed: int = 12345,
+        noise: NoiseModel | None = None,
+        program_args: tuple = (),
+        program_kwargs: dict | None = None,
+    ):
+        if payload_mode not in ("data", "model"):
+            raise ValueError("payload_mode must be 'data' or 'model'")
+        if placement is None:
+            if nprocs is None:
+                raise ValueError("pass nprocs or an explicit placement")
+        self.engine = Engine()
+        self.machine = Machine(
+            self.engine, spec, link_contention=link_contention
+        )
+        self.placement = placement or self.machine.default_placement(nprocs)
+        if nprocs is not None and self.placement.num_ranks != nprocs:
+            raise ValueError(
+                f"placement has {self.placement.num_ranks} ranks, "
+                f"nprocs={nprocs}"
+            )
+        self.machine.bind_placement(self.placement)
+        self.msg_engine = MessageEngine(self.engine, self.machine)
+        self.payload_mode = payload_mode
+        self.tuning = tuning or tuning_for_machine(spec.name)
+        self.trace = trace
+        self.trace_log: list[dict] = []
+        self.seed = seed
+        self.noise = noise
+        self.program = program
+        self.program_args = program_args
+        self.program_kwargs = program_kwargs or {}
+        self._comm_ids = 0
+
+    def next_comm_id(self) -> int:
+        """Allocate a runtime-unique communicator id."""
+        self._comm_ids += 1
+        return self._comm_ids
+
+    def run(self) -> JobResult:
+        """Execute the job to completion and return its result."""
+        nranks = self.placement.num_ranks
+        world_shared = _CommShared(
+            self, Group(list(range(nranks))), name="world"
+        )
+        contexts = []
+        finish_times = [0.0] * nranks
+        returns: list[Any] = [None] * nranks
+        for rank in range(nranks):
+            ctx = RankContext(self, rank)
+            ctx.world = Comm(world_shared, ctx)
+            contexts.append(ctx)
+
+        def wrapper(ctx: RankContext):
+            value = yield from self.program(
+                ctx, *self.program_args, **self.program_kwargs
+            )
+            finish_times[ctx.world_rank] = self.engine.now
+            returns[ctx.world_rank] = value
+            return value
+
+        for ctx in contexts:
+            self.engine.spawn(wrapper(ctx), name=f"rank{ctx.world_rank}")
+        self.engine.run()
+        self.msg_engine.assert_drained()
+        net = self.machine.network.stats
+        return JobResult(
+            returns=returns,
+            elapsed=self.engine.now,
+            finish_times=finish_times,
+            events_processed=self.engine.event_count,
+            sent_messages=self.msg_engine.sent_messages,
+            sent_bytes=self.msg_engine.sent_bytes,
+            intra_copies=self.machine.intra_copies,
+            intra_bytes=self.machine.intra_bytes,
+            network_messages=net.messages,
+            network_bytes=net.bytes,
+            trace=self.trace_log if self.trace else None,
+            placement=self.placement,
+            profiles=[ctx.profile for ctx in contexts],
+        )
+
+
+def run_program(
+    spec: MachineSpec,
+    nprocs: int | None,
+    program: Callable[..., Any],
+    **options: Any,
+) -> JobResult:
+    """Convenience wrapper: build and run an :class:`MPIJob`.
+
+    Extra keyword arguments are forwarded to :class:`MPIJob`.
+    """
+    job = MPIJob(spec, program, nprocs=nprocs, **options)
+    return job.run()

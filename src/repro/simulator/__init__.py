@@ -1,0 +1,53 @@
+"""Deterministic discrete-event simulation engine.
+
+This package provides the substrate on which the simulated MPI runtime
+(:mod:`repro.mpi`) executes: a virtual-time event loop (:class:`Engine`),
+coroutine-style processes driven by generators (:class:`Process`), one-shot
+synchronization events (:class:`Event`), composite wait conditions
+(:class:`AllOf`, :class:`AnyOf`) and contended resources
+(:class:`Resource`, :class:`BandwidthChannel`).
+
+The engine is fully deterministic: simultaneous events are ordered by a
+monotonically increasing sequence number, and nothing inside the engine
+consults wall-clock time or random state.
+
+Example
+-------
+>>> from repro.simulator import Engine
+>>> eng = Engine()
+>>> log = []
+>>> def proc(name, delay):
+...     yield eng.timeout(delay)
+...     log.append((eng.now, name))
+>>> _ = eng.spawn(proc("b", 2.0))
+>>> _ = eng.spawn(proc("a", 1.0))
+>>> eng.run()
+>>> log
+[(1.0, 'a'), (2.0, 'b')]
+"""
+
+from repro.simulator.engine import (
+    AllOf,
+    AnyOf,
+    DeadlockError,
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+)
+from repro.simulator.resources import BandwidthChannel, Resource, TokenBucket
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthChannel",
+    "DeadlockError",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "TokenBucket",
+]

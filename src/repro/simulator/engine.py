@@ -1,0 +1,433 @@
+"""Core discrete-event engine: virtual clock, events, and processes.
+
+The engine executes *processes* — plain Python generators — in virtual
+time.  A process suspends by ``yield``-ing a waitable (an :class:`Event`,
+another :class:`Process`, or a composite :class:`AllOf`/:class:`AnyOf`)
+and is resumed when that waitable triggers.  The value the waitable
+carries is sent back into the generator, so simulated blocking calls read
+naturally::
+
+    def worker(eng):
+        yield eng.timeout(1.5)          # sleep in virtual time
+        value = yield some_event        # wait for a signal
+        ...
+
+Design notes
+------------
+* **Determinism.**  The ready queue is a binary heap keyed on
+  ``(time, seq)`` where ``seq`` is a global insertion counter, so
+  simultaneous events always fire in schedule order.  Re-running the same
+  program yields the identical trace.
+* **Failure propagation.**  An event may *fail* with an exception; waiting
+  processes get the exception thrown at the yield point, which makes
+  simulated error paths testable.
+* **Deadlock detection.**  :meth:`Engine.run` raises
+  :class:`DeadlockError` if live processes remain but no event is
+  scheduled — the classic symptom of a mismatched send/recv or a barrier
+  that not everyone entered.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "DeadlockError",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when live processes remain but no event can ever fire.
+
+    The message lists the stuck processes to aid debugging of mismatched
+    communication patterns (e.g. a receive with no matching send).
+    """
+
+    def __init__(self, stuck: list["Process"]):
+        self.stuck = stuck
+        names = ", ".join(p.name for p in stuck[:8])
+        more = "" if len(stuck) <= 8 else f" (+{len(stuck) - 8} more)"
+        super().__init__(
+            f"deadlock: {len(stuck)} process(es) blocked with empty event "
+            f"queue: {names}{more}"
+        )
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted via :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled for callback processing
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it, after which its callbacks run (at the current virtual
+    time) and any process yielding on it resumes.  Events may be waited on
+    after they have triggered — the waiter resumes immediately with the
+    stored value.
+    """
+
+    __slots__ = ("engine", "callbacks", "_state", "_value", "_exc", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._state = _PENDING
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self.name = name
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value (raises if the event failed or is pending)."""
+        if not self.triggered:
+            raise SimulationError(f"event {self.name!r} has no value yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering *value* to waiters."""
+        if self._state != _PENDING:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._state = _TRIGGERED
+        self._value = value
+        self.engine._queue_triggered(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters get *exc* thrown at them."""
+        if self._state != _PENDING:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = _TRIGGERED
+        self._exc = exc
+        self.engine._queue_triggered(self)
+        return self
+
+    # -- wiring ----------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event is processed.
+
+        If the event has already been processed the callback is queued to
+        run at the current virtual time (never synchronously), preserving
+        run-to-completion semantics for the caller.
+        """
+        if self._state == _PROCESSED:
+            self.engine._schedule_call(lambda: fn(self))
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "done"}
+        return f"<Event {self.name!r} {state[self._state]}>"
+
+
+class AllOf:
+    """Composite waitable: resumes when *all* child events have triggered.
+
+    The resume value is the list of child values in input order.  If any
+    child fails, the waiter fails with that child's exception (first
+    failure wins).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+
+    def _subscribe(self, engine: "Engine", done: Event) -> None:
+        remaining = len(self.events)
+        if remaining == 0:
+            done.succeed([])
+            return
+        state = {"left": remaining, "failed": False}
+
+        def on_child(ev: Event) -> None:
+            if state["failed"] or done.triggered:
+                return
+            if not ev.ok:
+                state["failed"] = True
+                done.fail(ev._exc)  # type: ignore[arg-type]
+                return
+            state["left"] -= 1
+            if state["left"] == 0:
+                done.succeed([e._value for e in self.events])
+
+        for ev in self.events:
+            ev.add_callback(on_child)
+
+
+class AnyOf:
+    """Composite waitable: resumes when the *first* child event triggers.
+
+    The resume value is a ``(index, value)`` tuple identifying which child
+    fired.  A failing first child propagates its exception.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+
+    def _subscribe(self, engine: "Engine", done: Event) -> None:
+        def on_child(ev: Event) -> None:
+            if done.triggered:
+                return
+            if not ev.ok:
+                done.fail(ev._exc)  # type: ignore[arg-type]
+                return
+            done.succeed((self.events.index(ev), ev._value))
+
+        for ev in self.events:
+            ev.add_callback(on_child)
+
+
+class Process(Event):
+    """A generator-driven simulated process.
+
+    A :class:`Process` is itself an :class:`Event` that triggers when the
+    generator returns (success value = the generator's return value) or
+    raises (failure).  This lets processes wait on each other::
+
+        child = eng.spawn(worker())
+        result = yield child
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_alive")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        super().__init__(engine, name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Event | None = None
+        self._alive = True
+        engine._live_processes.add(self)
+        engine._schedule_call(lambda: self._step(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self._alive:
+            return
+        target = self._waiting_on
+        if target is not None and not target.triggered:
+            # Detach from whatever we were waiting on; resume with Interrupt.
+            self._waiting_on = None
+        self.engine._schedule_call(
+            lambda: self._step(None, Interrupt(cause)) if self._alive else None
+        )
+
+    # -- driver ----------------------------------------------------------
+    def _step(self, send_value: Any, throw_exc: BaseException | None) -> None:
+        if not self._alive:
+            return
+        self._waiting_on = None
+        try:
+            if throw_exc is not None:
+                target = self.generator.throw(throw_exc)
+            else:
+                target = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into event
+            self._finish_fail(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, (AllOf, AnyOf)):
+            gate = Event(self.engine, name=f"{self.name}:gate")
+            target._subscribe(self.engine, gate)
+            target = gate
+        if not isinstance(target, Event):
+            self._finish_fail(
+                SimulationError(
+                    f"process {self.name!r} yielded non-waitable {target!r}"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume_from)
+
+    def _resume_from(self, ev: Event) -> None:
+        if not self._alive or self._waiting_on is not ev:
+            return  # stale callback (e.g. after interrupt)
+        if ev.ok:
+            self._step(ev._value, None)
+        else:
+            self._step(None, ev._exc)
+
+    def _finish_ok(self, value: Any) -> None:
+        self._alive = False
+        self.engine._live_processes.discard(self)
+        self.succeed(value)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._alive = False
+        self.engine._live_processes.discard(self)
+        self.fail(exc)
+
+    def _process(self) -> None:
+        # A failing process with no waiters at processing time is a lost
+        # crash — surface it.  (Waiters subscribing between the failure
+        # and this tick still count.)
+        had_waiters = bool(self.callbacks)
+        super()._process()
+        if self._exc is not None and not had_waiters:
+            self.engine._unhandled.append((self, self._exc))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} alive={self._alive}>"
+
+
+class Engine:
+    """The virtual-time event loop.
+
+    Attributes
+    ----------
+    now:
+        Current virtual time (seconds by convention throughout
+        :mod:`repro`; the engine itself is unit-agnostic).
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._live_processes: set[Process] = set()
+        self._unhandled: list[tuple[Process, BaseException]] = []
+        self._event_count = 0
+
+    # -- construction helpers -------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that triggers *delay* virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        ev = Event(self, name or f"timeout({delay:g})")
+        ev._state = _TRIGGERED
+        ev._value = value
+        self._push(self.now + delay, ev)
+        return ev
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process executing *generator*."""
+        if not isinstance(generator, Generator):
+            raise TypeError(
+                "spawn() expects a generator (did you forget to call the "
+                "generator function?)"
+            )
+        return Process(self, generator, name)
+
+    # -- scheduling internals --------------------------------------------
+    def _push(self, time: float, ev: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, ev))
+
+    def _queue_triggered(self, ev: Event) -> None:
+        self._push(self.now, ev)
+
+    def _schedule_call(self, fn: Callable[[], None]) -> None:
+        ev = Event(self, name="call")
+        ev._state = _TRIGGERED
+        ev.add_callback(lambda _ev: fn())
+        self._push(self.now, ev)
+
+    # -- run loop ----------------------------------------------------------
+    def step(self) -> None:
+        """Process one scheduled event."""
+        time, _seq, ev = heapq.heappop(self._heap)
+        if time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self.now = time
+        self._event_count += 1
+        ev._process()
+        if self._unhandled:
+            proc, exc = self._unhandled[0]
+            raise SimulationError(
+                f"unhandled exception in process {proc.name!r}"
+            ) from exc
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the event queue drains (or virtual time *until*).
+
+        Raises
+        ------
+        DeadlockError
+            If processes are still alive when the queue drains.
+        SimulationError
+            If a process with no waiter raises an exception.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+        if self._live_processes:
+            raise DeadlockError(sorted(self._live_processes, key=lambda p: p.name))
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events processed so far (a determinism probe)."""
+        return self._event_count

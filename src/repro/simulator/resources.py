@@ -1,0 +1,214 @@
+"""Contended resources for the simulation engine.
+
+Three primitives cover everything the machine model needs:
+
+* :class:`Resource` — a counting semaphore with FIFO queuing.  Used for
+  NIC injection slots and memory-stream slots.
+* :class:`BandwidthChannel` — a pipe with finite aggregate bandwidth and a
+  bounded number of concurrent streams.  A transfer of ``n`` bytes holds a
+  stream slot for ``n / stream_bw`` seconds; when all slots are busy,
+  transfers queue FIFO.  This is a deterministic approximation of
+  processor-sharing that still produces the right qualitative behaviour:
+  throughput degrades once concurrency exceeds the sustainable stream
+  count (e.g. on-node memory contention growing with ranks-per-node,
+  which is the effect the ICPP'19 paper exploits).
+* :class:`TokenBucket` — a rate limiter used by injection-rate models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.simulator.engine import Engine, Event, SimulationError
+
+__all__ = ["Resource", "BandwidthChannel", "TokenBucket"]
+
+
+class Resource:
+    """Counting semaphore with strict FIFO grant order.
+
+    Usage from a process::
+
+        grant = yield res.acquire()
+        try:
+            ...
+        finally:
+            res.release()
+    """
+
+    def __init__(self, engine: Engine, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[tuple[Event, int]] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of acquire requests waiting."""
+        return len(self._waiters)
+
+    def acquire(self, amount: int = 1) -> Event:
+        """Request *amount* units; the returned event fires on grant."""
+        if amount < 1 or amount > self.capacity:
+            raise ValueError(
+                f"acquire({amount}) invalid for capacity {self.capacity}"
+            )
+        ev = Event(self.engine, name=f"{self.name}.acquire")
+        if not self._waiters and self._in_use + amount <= self.capacity:
+            self._in_use += amount
+            ev.succeed(amount)
+        else:
+            self._waiters.append((ev, amount))
+        return ev
+
+    def release(self, amount: int = 1) -> None:
+        """Return *amount* units and grant queued requests FIFO."""
+        if amount < 1 or amount > self._in_use:
+            raise SimulationError(
+                f"release({amount}) with only {self._in_use} in use"
+            )
+        self._in_use -= amount
+        while self._waiters:
+            ev, want = self._waiters[0]
+            if self._in_use + want > self.capacity:
+                break
+            self._waiters.popleft()
+            self._in_use += want
+            ev.succeed(want)
+
+
+class BandwidthChannel:
+    """A shared pipe: aggregate bandwidth split into fixed stream slots.
+
+    Parameters
+    ----------
+    bandwidth:
+        Aggregate bytes/second the channel sustains.
+    streams:
+        Number of transfers that can proceed concurrently at full
+        per-stream rate (``bandwidth / streams``).  Additional transfers
+        queue.  ``streams=1`` gives a fully serialized link (a NIC);
+        larger values model multi-channel memory systems.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        bandwidth: float,
+        streams: int = 1,
+        name: str = "channel",
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.engine = engine
+        self.bandwidth = float(bandwidth)
+        self.streams = int(streams)
+        self.name = name
+        self._slots = Resource(engine, self.streams, name=f"{name}.slots")
+        self.bytes_moved = 0.0
+        self.busy_time = 0.0
+
+    @property
+    def stream_bandwidth(self) -> float:
+        """Bytes/second available to a single transfer."""
+        return self.bandwidth / self.streams
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Uncontended duration of a transfer of *nbytes*."""
+        return nbytes / self.stream_bandwidth
+
+    def transfer(self, nbytes: float) -> "Event":
+        """Move *nbytes* through the channel; returns a completion event.
+
+        Implemented as a helper process so callers simply
+        ``yield channel.transfer(n)``.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+        def _xfer():
+            yield self._slots.acquire()
+            try:
+                duration = self.transfer_time(nbytes)
+                self.bytes_moved += nbytes
+                self.busy_time += duration
+                if duration > 0:
+                    yield self.engine.timeout(duration)
+            finally:
+                self._slots.release()
+            return nbytes
+
+        return self.engine.spawn(_xfer(), name=f"{self.name}.xfer")
+
+    @property
+    def queued(self) -> int:
+        """Transfers waiting for a slot."""
+        return self._slots.queued
+
+    @property
+    def active(self) -> int:
+        """Transfers currently in flight."""
+        return self._slots.in_use
+
+
+class TokenBucket:
+    """Deterministic token-bucket rate limiter.
+
+    Grants *tokens* at a fixed ``rate`` with burst capacity ``capacity``.
+    Used for modelling NIC injection-rate limits on small messages.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate: float,
+        capacity: float,
+        name: str = "bucket",
+    ):
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self.engine = engine
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.name = name
+        self._tokens = float(capacity)
+        self._last = 0.0
+        self._queue_release_time = 0.0
+
+    def _refill(self) -> None:
+        now = self.engine.now
+        self._tokens = min(
+            self.capacity, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def take(self, amount: float = 1.0) -> Event:
+        """Consume *amount* tokens, waiting for refill if necessary."""
+        if amount <= 0 or amount > self.capacity:
+            raise ValueError(f"take({amount}) invalid for capacity {self.capacity}")
+
+        def _take():
+            self._refill()
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return 0.0
+            deficit = amount - self._tokens
+            self._tokens = 0.0
+            wait = deficit / self.rate
+            # Serialize queued takers deterministically.
+            start = max(self.engine.now, self._queue_release_time)
+            release = start + wait
+            self._queue_release_time = release
+            yield self.engine.timeout(release - self.engine.now)
+            self._last = self.engine.now
+            return wait
+
+        return self.engine.spawn(_take(), name=f"{self.name}.take")

@@ -1,0 +1,116 @@
+"""Trace inspection and export utilities.
+
+Jobs run with ``trace=True`` collect one record per collective dispatch
+(time, rank, communicator, operation, algorithm, bytes).  This module
+turns those records into:
+
+* :func:`summarize` — per-(op, algo) aggregate counts/bytes;
+* :func:`to_chrome_trace` — a ``chrome://tracing`` / Perfetto compatible
+  JSON object (instant events per dispatch, one row per rank);
+* :func:`format_timeline` — a quick ASCII timeline for terminals.
+
+Example
+-------
+::
+
+    result = run_program(spec, 8, program, trace=True)
+    print(format_timeline(result.trace))
+    json.dump(to_chrome_trace(result.trace), open("trace.json", "w"))
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Any
+
+__all__ = [
+    "summarize",
+    "to_chrome_trace",
+    "format_timeline",
+    "save_chrome_trace",
+]
+
+
+def summarize(trace: list[dict]) -> dict[tuple[str, str], dict]:
+    """Aggregate trace records by (operation, algorithm).
+
+    Returns ``{(op, algo): {"calls": n, "bytes": total}}``.
+    """
+    out: dict[tuple[str, str], dict] = defaultdict(
+        lambda: {"calls": 0, "bytes": 0}
+    )
+    for rec in trace:
+        key = (rec["op"], rec["algo"])
+        out[key]["calls"] += 1
+        out[key]["bytes"] += rec.get("nbytes", 0)
+    return dict(out)
+
+
+def to_chrome_trace(trace: list[dict]) -> dict:
+    """Convert dispatch records to the Chrome trace-event JSON format.
+
+    Each record becomes an instant event on its rank's row; load the
+    result in ``chrome://tracing`` or https://ui.perfetto.dev.
+    Timestamps are microseconds (the format's convention).
+    """
+    events: list[dict[str, Any]] = []
+    for rec in trace:
+        events.append(
+            {
+                "name": f"{rec['op']}:{rec['algo']}",
+                "ph": "i",           # instant event
+                "s": "t",            # thread scoped
+                "ts": rec["t"] * 1e6,
+                "pid": 0,
+                "tid": rec["rank"],
+                "args": {
+                    "comm": rec.get("comm", "?"),
+                    "nbytes": rec.get("nbytes", 0),
+                },
+            }
+        )
+    ranks = sorted({rec["rank"] for rec in trace})
+    for rank in ranks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(trace: list[dict], path: str) -> None:
+    """Write :func:`to_chrome_trace` output to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(trace), fh)
+
+
+def format_timeline(trace: list[dict], width: int = 72,
+                    max_rows: int = 40) -> str:
+    """ASCII timeline: one line per record, bar position = virtual time.
+
+    Intended for quick eyeballing of collective phases in a terminal.
+    """
+    if not trace:
+        return "(empty trace)"
+    t_max = max(rec["t"] for rec in trace) or 1.0
+    lines = [
+        f"{'t(us)':>10}  {'rank':>4}  {'op:algo':<32} timeline",
+    ]
+    shown = trace[:max_rows]
+    for rec in shown:
+        pos = int(rec["t"] / t_max * (width - 1)) if t_max else 0
+        bar = "." * pos + "|"
+        label = f"{rec['op']}:{rec['algo']}"
+        lines.append(
+            f"{rec['t'] * 1e6:>10.2f}  {rec['rank']:>4}  "
+            f"{label:<32} {bar}"
+        )
+    if len(trace) > max_rows:
+        lines.append(f"... (+{len(trace) - max_rows} more records)")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Tests for the synthetic chembl-like dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import synthetic_chembl
+
+
+class TestGenerator:
+    def test_default_dimensions_match_chembl20(self):
+        ds = synthetic_chembl()
+        assert ds.num_compounds == 15073
+        assert ds.num_targets == 346
+        assert 0.009 < ds.density < 0.013
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_chembl(n_compounds=100, n_targets=20, seed=3)
+        b = synthetic_chembl(n_compounds=100, n_targets=20, seed=3)
+        assert (a.matrix != b.matrix).nnz == 0
+
+    def test_different_seeds_differ(self):
+        a = synthetic_chembl(n_compounds=100, n_targets=20, seed=3)
+        b = synthetic_chembl(n_compounds=100, n_targets=20, seed=4)
+        assert (a.matrix != b.matrix).nnz > 0
+
+    def test_values_look_like_pic50(self):
+        ds = synthetic_chembl(n_compounds=500, n_targets=50, density=0.2)
+        vals = ds.matrix.tocoo().data
+        assert 4.0 < vals.mean() < 9.0
+        assert vals.std() < 5.0
+
+    def test_low_rank_signal_present(self):
+        # Same seed, different noise levels: the shared low-rank signal
+        # must dominate, so the two value streams correlate strongly.
+        clean = synthetic_chembl(
+            n_compounds=200, n_targets=60, density=0.5, latent_dim=4,
+            noise=0.0, seed=9,
+        ).matrix.tocoo()
+        noisy = synthetic_chembl(
+            n_compounds=200, n_targets=60, density=0.5, latent_dim=4,
+            noise=1.0, seed=9,
+        ).matrix.tocoo()
+        corr = np.corrcoef(clean.data, noisy.data)[0, 1]
+        assert corr > 0.6, corr
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_chembl(density=0.0)
+        with pytest.raises(ValueError):
+            synthetic_chembl(density=1.5)
+
+
+class TestSplit:
+    def test_train_test_partition(self):
+        ds = synthetic_chembl(n_compounds=300, n_targets=40, density=0.3)
+        train, test = ds.train_test_split(test_fraction=0.25)
+        assert train.shape == test.shape == ds.matrix.shape
+        # Roughly a 75/25 split of the observations.
+        frac = test.nnz / (train.nnz + test.nnz)
+        assert 0.2 < frac < 0.3
+        # Disjoint supports.
+        overlap = train.multiply(test)
+        assert overlap.nnz == 0
+
+    def test_fraction_validated(self):
+        ds = synthetic_chembl(n_compounds=50, n_targets=10, density=0.3)
+        with pytest.raises(ValueError):
+            ds.train_test_split(0.0)

@@ -1,0 +1,119 @@
+"""Tests for the benchmark harness (OSU protocol, figures, CLI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import FIGURES, get_figure
+from repro.bench.harness import Figure, FigureResult, format_table
+from repro.bench.osu import osu_allgather_latency, osu_latency_program
+from repro.machine import Placement, testing_machine as make_testing_spec
+from repro.mpi import run_program
+
+
+class TestOsuProtocol:
+    def test_warmup_excluded_from_timing(self):
+        # An op with a one-off setup cost: the first call is slow.
+        def program(mpi):
+            state = {"first": True}
+
+            def op(_mpi):
+                if state["first"]:
+                    state["first"] = False
+                    yield _mpi.compute(1.0)  # expensive one-off
+                yield _mpi.compute(1e-6)
+
+            latency = yield from osu_latency_program(
+                mpi, op, reps=2, warmup=1
+            )
+            return latency
+
+        result = run_program(
+            make_testing_spec(1, 2), 2, program, payload_mode="model"
+        )
+        assert all(t < 1e-4 for t in result.returns)
+
+    def test_latency_helper_variants(self):
+        spec = make_testing_spec(2, 2)
+        placement = Placement.block(2, 2)
+        hy = osu_allgather_latency(spec, placement, 64, "hybrid")
+        pure = osu_allgather_latency(spec, placement, 64, "pure")
+        assert hy > 0 and pure > 0
+        with pytest.raises(ValueError):
+            osu_allgather_latency(spec, placement, 64, "quantum")
+
+
+class TestHarness:
+    def test_figure_run_collects_rows(self):
+        fig = Figure(
+            figure_id="toy",
+            title="Toy",
+            paper_claim="n/a",
+            sweep=lambda mode: [{"x": 1}, {"x": 2}],
+            measure=lambda p, m: {"y": p["x"] * 10},
+            columns=["x", "y"],
+        )
+        result = fig.run(mode="quick")
+        assert result.series("y") == [10, 20]
+        assert result.figure_id == "toy"
+        assert "Toy" in result.render()
+
+    def test_mode_validated(self):
+        fig = Figure("t", "T", "c", lambda m: [], lambda p, m: {})
+        with pytest.raises(ValueError):
+            fig.run(mode="huge")
+
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["a", "bb"], [{"a": 1, "bb": 2.5}, {"a": 10, "bb": None}]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "-" in lines[1]
+        assert "-" in lines[3]  # None rendered as '-'
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        expected = {
+            "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "fig10",
+            "fig11a", "fig11b", "fig11c", "fig11d", "fig12",
+        }
+        assert expected <= set(FIGURES)
+
+    def test_ablations_present(self):
+        assert {
+            "abl_sync", "abl_pipeline", "abl_placement", "abl_multileader"
+        } <= set(FIGURES)
+
+    def test_unknown_figure_lists_known(self):
+        with pytest.raises(KeyError, match="fig7"):
+            get_figure("fig99")
+
+    def test_every_figure_declares_claim_and_sweeps(self):
+        for fid, fig in FIGURES.items():
+            assert fig.paper_claim, fid
+            quick = fig.sweep("quick")
+            paper = fig.sweep("paper")
+            assert quick, fid
+            assert len(paper) >= len(quick), fid
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "abl_sync" in out
+
+    def test_requires_action(self, capsys):
+        from repro.bench.cli import main
+
+        assert main([]) == 2
+
+    def test_unknown_figure_exit_code(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--figure", "nope"]) == 2

@@ -1,0 +1,43 @@
+"""CLI integration: file outputs, report generation, figure selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.report import load_results
+
+
+class TestCliFiles:
+    def test_out_file_appends_tables(self, tmp_path, capsys):
+        out = tmp_path / "results.txt"
+        assert main(["--figure", "abl_placement", "--quiet",
+                     "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "SMP vs round-robin" in text
+        # Appending a second run keeps the first block.
+        assert main(["--figure", "abl_placement", "--quiet",
+                     "--out", str(out)]) == 0
+        assert out.read_text().count("SMP vs round-robin") == 2
+
+    def test_report_file_has_verdicts(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        assert main(["--figure", "abl_placement", "--quiet",
+                     "--report", str(report)]) == 0
+        text = report.read_text()
+        assert "REPRODUCED" in text
+        assert "| elements |" in text or "| elements " in text
+
+    def test_saved_output_reloads(self, tmp_path, capsys):
+        out = tmp_path / "results.txt"
+        main(["--figure", "abl_placement", "--quiet", "--out", str(out)])
+        results = load_results(str(out))
+        assert len(results) == 1
+        assert results[0].figure_id == "abl_placement"
+        assert results[0].rows
+
+    def test_stdout_contains_table(self, capsys):
+        main(["--figure", "abl_placement", "--quiet"])
+        out = capsys.readouterr().out
+        assert "packing_penalty" in out
+        assert "wall time" in out

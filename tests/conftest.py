@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import Machine, MachineSpec, testing_machine
+from repro.simulator import Engine
+
+
+@pytest.fixture()
+def engine() -> Engine:
+    """A fresh simulation engine."""
+    return Engine()
+
+
+@pytest.fixture()
+def tiny_spec() -> MachineSpec:
+    """2 nodes x 4 cores with round-number cost parameters."""
+    return testing_machine(num_nodes=2, cores=4)
+
+
+@pytest.fixture()
+def tiny_machine(engine, tiny_spec) -> Machine:
+    """Instantiated 2x4 machine bound to the fresh engine."""
+    return Machine(engine, tiny_spec)

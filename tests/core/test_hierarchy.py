@@ -1,0 +1,143 @@
+"""Tests for HybridContext setup and shared buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HybridContext
+from repro.machine import Placement
+from tests.helpers import returns_of
+
+
+def make_ctx_prog(body):
+    def prog(mpi):
+        ctx = yield from HybridContext.create(mpi.world)
+        result = yield from body(mpi, ctx)
+        return result
+
+    return prog
+
+
+class TestContextCreation:
+    def test_leaders_and_bridge(self):
+        def body(mpi, ctx):
+            yield from ctx.shm.barrier()
+            return (
+                ctx.is_leader,
+                ctx.num_nodes,
+                None if ctx.bridge is None else ctx.bridge.size,
+            )
+
+        rets = returns_of(make_ctx_prog(body), nodes=2, cores=3)
+        assert rets[0] == (True, 2, 2)
+        assert rets[1] == (False, 2, None)
+        assert rets[3] == (True, 2, 2)
+
+    def test_single_node_context(self):
+        def body(mpi, ctx):
+            yield from ctx.shm.barrier()
+            return (ctx.multi_node, ctx.num_nodes)
+
+        rets = returns_of(make_ctx_prog(body), nodes=1, cores=4, nprocs=4)
+        assert all(r == (False, 1) for r in rets)
+
+    def test_bridge_rank_node_mapping(self):
+        def body(mpi, ctx):
+            yield from ctx.shm.barrier()
+            return [
+                ctx.node_of_bridge_rank(b) for b in range(ctx.num_nodes)
+            ]
+
+        rets = returns_of(make_ctx_prog(body), nodes=3, cores=2)
+        assert all(r == [0, 1, 2] for r in rets)
+        assert rets[0] is not None
+
+    def test_context_on_subcommunicator(self):
+        def prog(mpi):
+            comm = mpi.world
+            # Column communicator spanning both nodes.
+            col = yield from comm.split(color=comm.rank % 2, key=comm.rank)
+            ctx = yield from HybridContext.create(col)
+            yield from ctx.shm.barrier()
+            return (ctx.num_nodes, ctx.shm.size)
+
+        rets = returns_of(prog, nodes=2, cores=4)
+        assert all(r == (2, 2) for r in rets)
+
+
+class TestBuffers:
+    def test_allgather_buffer_layout(self):
+        def body(mpi, ctx):
+            buf = yield from ctx.allgather_buffer(16)
+            yield from ctx.shm.barrier()
+            return (
+                buf.total_nbytes,
+                buf.my_slot,
+                buf.offset_of_rank(mpi.world.rank),
+                buf.my_node_region,
+            )
+
+        rets = returns_of(make_ctx_prog(body), nodes=2, cores=2)
+        assert rets[0] == (64, 0, 0, (0, 32))
+        assert rets[1] == (64, 1, 16, (0, 32))
+        assert rets[2] == (64, 2, 32, (32, 32))
+
+    def test_buffer_cache_reuses_window(self):
+        def body(mpi, ctx):
+            a = yield from ctx.allgather_buffer(16)
+            b = yield from ctx.allgather_buffer(16)
+            c = yield from ctx.allgather_buffer(32)
+            yield from ctx.shm.barrier()
+            return (a is b, a is c)
+
+        rets = returns_of(make_ctx_prog(body), nodes=1, cores=2, nprocs=2)
+        assert all(r == (True, False) for r in rets)
+
+    def test_allgatherv_buffer_sizes(self):
+        def body(mpi, ctx):
+            sizes = [8 * (r + 1) for r in range(mpi.world.size)]
+            buf = yield from ctx.allgatherv_buffer(sizes)
+            yield from ctx.shm.barrier()
+            return [buf.size_of_rank(r) for r in range(mpi.world.size)]
+
+        rets = returns_of(make_ctx_prog(body), nodes=2, cores=2)
+        assert all(r == [8, 16, 24, 32] for r in rets)
+
+    def test_allgatherv_buffer_validates_length(self):
+        def body(mpi, ctx):
+            try:
+                yield from ctx.allgatherv_buffer([8])
+            except ValueError:
+                yield from ctx.shm.barrier()
+                return "rejected"
+            return "accepted"
+
+        rets = returns_of(make_ctx_prog(body), nodes=1, cores=2, nprocs=2)
+        assert all(r == "rejected" for r in rets)
+
+    def test_local_view_is_shared_storage(self):
+        def body(mpi, ctx):
+            buf = yield from ctx.allgather_buffer(8)
+            local = buf.local_view(np.float64)
+            local[0] = mpi.world.rank + 0.5
+            yield from ctx.shm.barrier()
+            # A neighbour on the same node sees my store directly.
+            peer = mpi.world.rank ^ 1
+            return float(buf.slot_view(peer, np.float64)[0])
+
+        rets = returns_of(make_ctx_prog(body), nodes=1, cores=2, nprocs=2)
+        assert rets == [1.5, 0.5]
+
+    def test_round_robin_placement_node_major_regions(self):
+        def body(mpi, ctx):
+            buf = yield from ctx.allgather_buffer(8)
+            yield from ctx.shm.barrier()
+            return buf.offset_of_rank(mpi.world.rank)
+
+        placement = Placement.round_robin(2, 2)
+        rets = returns_of(
+            make_ctx_prog(body), nodes=2, cores=2, placement=placement
+        )
+        # node 0 hosts world ranks 0,2 (slots 0,1); node 1 hosts 1,3.
+        assert rets == [0, 16, 8, 24]

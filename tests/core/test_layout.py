@@ -1,0 +1,64 @@
+"""Tests for the node-sorted slot layout (paper §6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NodeSortedLayout
+from repro.machine import Placement
+
+
+def layout_for(placement, comm_world_ranks=None):
+    ranks = tuple(comm_world_ranks or range(placement.num_ranks))
+    return NodeSortedLayout(ranks, placement)
+
+
+class TestIdentityCase:
+    def test_block_placement_is_identity(self):
+        lay = layout_for(Placement.block(3, 4))
+        assert lay.is_identity
+        assert [lay.slot_of_rank(r) for r in range(12)] == list(range(12))
+
+    def test_nodes_listed_ascending(self):
+        lay = layout_for(Placement.block(3, 2))
+        assert lay.nodes == [0, 1, 2]
+
+
+class TestPermutedCase:
+    def test_round_robin_groups_by_node(self):
+        lay = layout_for(Placement.round_robin(2, 3))
+        assert not lay.is_identity
+        # node 0: comm ranks 0,2,4 -> slots 0,1,2; node 1: 1,3,5 -> 3,4,5
+        assert [lay.slot_of_rank(r) for r in range(6)] == [0, 3, 1, 4, 2, 5]
+
+    def test_roundtrip(self):
+        lay = layout_for(Placement.round_robin(3, 4))
+        for r in range(12):
+            assert lay.rank_of_slot(lay.slot_of_rank(r)) == r
+
+    def test_node_regions_contiguous(self):
+        lay = layout_for(Placement.round_robin(2, 3))
+        assert lay.node_slot_start(0) == 0
+        assert lay.node_count(0) == 3
+        assert lay.node_slot_start(1) == 3
+        assert lay.node_counts_in_order() == [3, 3]
+
+
+class TestSubcommunicator:
+    def test_partial_membership(self):
+        # A communicator holding only world ranks 1, 2, 5 of a 2x3 machine.
+        placement = Placement.block(2, 3)
+        lay = layout_for(placement, comm_world_ranks=(1, 2, 5))
+        # world 1,2 on node 0 -> slots 0,1; world 5 on node 1 -> slot 2.
+        assert lay.size == 3
+        assert lay.slot_of_rank(0) == 0
+        assert lay.slot_of_rank(1) == 1
+        assert lay.slot_of_rank(2) == 2
+        assert lay.nodes == [0, 1]
+        assert lay.node_count(1) == 1
+
+    def test_validation_of_sizes(self):
+        placement = Placement.block(2, 2)
+        lay = layout_for(placement)
+        with pytest.raises(KeyError):
+            lay.node_slot_start(99)

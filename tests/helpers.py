@@ -1,0 +1,34 @@
+"""Importable helpers shared by the test modules.
+
+(Fixtures live in ``conftest.py``; these are plain functions importable
+as ``from tests.helpers import run``.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine import testing_machine
+from repro.mpi import run_program
+
+__all__ = ["run", "returns_of", "assert_allclose"]
+
+
+def run(program, *, nodes=2, cores=4, nprocs=None, placement=None,
+        spec=None, **options):
+    """Run a rank program on a small testing machine; returns JobResult."""
+    spec = spec or testing_machine(num_nodes=nodes, cores=cores)
+    if placement is None and nprocs is None:
+        nprocs = nodes * cores
+    return run_program(spec, nprocs, program, placement=placement, **options)
+
+
+def returns_of(program, **kwargs):
+    """Run and return only the per-rank return values."""
+    return run(program, **kwargs).returns
+
+
+def assert_allclose(actual, expected, **kwargs):
+    """numpy allclose with array coercion."""
+    np.testing.assert_allclose(np.asarray(actual), np.asarray(expected),
+                               **kwargs)

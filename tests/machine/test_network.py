@@ -1,0 +1,147 @@
+"""Unit tests for the network cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import FlatTopology, NetworkModel, NetworkSpec
+from repro.simulator import Engine
+
+
+def make_net(engine, num_nodes=4, **kw):
+    defaults = dict(
+        alpha=1.0e-6,
+        hop_latency=0.0,
+        bandwidth=1.0e9,
+        nic_streams=1,
+        eager_threshold=4096,
+    )
+    defaults.update(kw)
+    return NetworkModel(engine, NetworkSpec(**defaults), num_nodes=num_nodes)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(alpha=-1.0).validate()
+        with pytest.raises(ValueError):
+            NetworkSpec(bandwidth=0.0).validate()
+        with pytest.raises(ValueError):
+            NetworkSpec(nic_streams=0).validate()
+        NetworkSpec().validate()  # defaults are valid
+
+
+class TestLatency:
+    def test_latency_includes_hops(self, engine):
+        net = make_net(engine, hop_latency=1.0e-7)
+        # Flat topology: 2 hops between distinct nodes.
+        assert net.latency(0, 1) == pytest.approx(1.0e-6 + 2.0e-7)
+
+    def test_uncontended_time_eager(self, engine):
+        net = make_net(engine)
+        t = net.uncontended_time(0, 1, 1000)
+        assert t == pytest.approx(1.0e-6 + 1000 / 1.0e9)
+
+    def test_uncontended_time_rendezvous_adds_handshake(self, engine):
+        net = make_net(engine)
+        small = net.uncontended_time(0, 1, 4096)
+        big = net.uncontended_time(0, 1, 4097)
+        # Extra round trip (2 * latency) for the rendezvous message.
+        assert big - small == pytest.approx(2.0e-6 + 1 / 1.0e9, rel=1e-3)
+
+
+class TestTransmit:
+    def test_transfer_completes_at_model_time(self, engine):
+        net = make_net(engine)
+        done = []
+
+        def prog():
+            yield from net.transmit(0, 1, 1000)
+            done.append(engine.now)
+
+        engine.spawn(prog())
+        engine.run()
+        assert done == [pytest.approx(1.0e-6 + 1.0e-6)]  # alpha + 1000B/1GB/s
+
+    def test_same_node_rejected(self, engine):
+        net = make_net(engine)
+        with pytest.raises(ValueError):
+            # generator raises at first step
+            list(net.transmit(2, 2, 10))
+
+    def test_nic_serializes_concurrent_sends(self, engine):
+        net = make_net(engine)
+        done = []
+
+        def prog(dst):
+            yield from net.transmit(0, dst, 1000)
+            done.append((dst, engine.now))
+
+        engine.spawn(prog(1))
+        engine.spawn(prog(2))
+        engine.run()
+        t1 = 1.0e-6 + 1.0e-6
+        # The second send waits for the first's TX serialization (1 us).
+        assert done[0] == (1, pytest.approx(t1))
+        assert done[1] == (2, pytest.approx(t1 + 1.0e-6))
+
+    def test_stats_recorded(self, engine):
+        net = make_net(engine)
+
+        def prog():
+            yield from net.transmit(0, 1, 500)
+            yield from net.transmit(0, 2, 8192)  # rendezvous
+
+        engine.spawn(prog())
+        engine.run()
+        assert net.stats.messages == 2
+        assert net.stats.bytes == 500 + 8192
+        assert net.stats.rendezvous_messages == 1
+        assert net.stats.per_pair[(0, 1)] == (1, 500.0)
+
+    def test_topology_capacity_checked(self, engine):
+        with pytest.raises(ValueError):
+            NetworkModel(
+                engine, NetworkSpec(), num_nodes=8,
+                topology=FlatTopology(4),
+            )
+
+
+class TestLinkContention:
+    def test_detailed_mode_builds_link_channels(self, engine):
+        from repro.machine import DragonflyTopology
+
+        topo = DragonflyTopology(8, nodes_per_router=2, routers_per_group=2)
+        net = NetworkModel(
+            engine, NetworkSpec(), num_nodes=8, topology=topo,
+            link_contention=True,
+        )
+        assert len(net._links) == topo.graph.number_of_edges()
+
+    def test_link_contention_slows_shared_paths(self):
+        from repro.machine import FatTreeTopology
+
+        def run(contended: bool) -> float:
+            engine = Engine()
+            topo = FatTreeTopology(4, leaf_radix=2, num_spines=1)
+            net = NetworkModel(
+                engine,
+                NetworkSpec(alpha=0.0, bandwidth=100.0, nic_streams=1),
+                num_nodes=4,
+                topology=topo,
+                link_contention=contended,
+            )
+            finish = []
+
+            def prog(src, dst):
+                yield from net.transmit(src, dst, 100)
+                finish.append(engine.now)
+
+            # Two transfers from different sources crossing the same
+            # leaf-spine links toward different destinations.
+            engine.spawn(prog(0, 2))
+            engine.spawn(prog(1, 3))
+            engine.run()
+            return max(finish)
+
+        assert run(True) > run(False)

@@ -1,0 +1,100 @@
+"""Unit tests for rank placements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import Placement
+
+
+class TestBlock:
+    def test_smp_style(self):
+        p = Placement.block(3, 4)
+        assert p.num_ranks == 12
+        assert p.node_of(0) == 0
+        assert p.node_of(4) == 1
+        assert p.node_of(11) == 2
+        assert p.is_smp_style()
+
+    def test_leaders_are_lowest_ranks(self):
+        p = Placement.block(3, 4)
+        assert p.leaders() == [0, 4, 8]
+        assert p.is_leader(4)
+        assert not p.is_leader(5)
+
+    def test_slots(self):
+        p = Placement.block(2, 3)
+        assert [p.slot_of(r) for r in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_node_sorted_is_identity(self):
+        p = Placement.block(3, 2)
+        assert p.node_sorted_ranks() == list(range(6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Placement.block(0, 4)
+        with pytest.raises(ValueError):
+            Placement.block(2, 0)
+
+
+class TestRoundRobin:
+    def test_cyclic_mapping(self):
+        p = Placement.round_robin(3, 2)
+        assert [p.node_of(r) for r in range(6)] == [0, 1, 2, 0, 1, 2]
+        assert not p.is_smp_style()
+
+    def test_leaders(self):
+        p = Placement.round_robin(3, 2)
+        assert p.leaders() == [0, 1, 2]
+
+    def test_node_sorted_groups_by_node(self):
+        p = Placement.round_robin(2, 3)
+        # node 0: ranks 0,2,4; node 1: ranks 1,3,5
+        assert p.node_sorted_ranks() == [0, 2, 4, 1, 3, 5]
+
+
+class TestIrregular:
+    def test_paper_population(self):
+        p = Placement.irregular([24] * 42 + [16])
+        assert p.num_ranks == 1024
+        assert p.counts() == [24] * 42 + [16]
+        assert p.is_smp_style()
+
+    def test_ranks_on(self):
+        p = Placement.irregular([2, 3])
+        assert p.ranks_on(0) == [0, 1]
+        assert p.ranks_on(1) == [2, 3, 4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Placement.irregular([])
+        with pytest.raises(ValueError):
+            Placement.irregular([2, 0])
+
+
+class TestExplicit:
+    def test_arbitrary_mapping(self):
+        p = Placement.explicit([1, 0, 1, 0])
+        assert p.node_of(0) == 1
+        assert p.ranks_on(0) == [1, 3]
+        assert p.leader_of(0) == 1
+        assert not p.is_smp_style()
+
+    def test_same_node(self):
+        p = Placement.explicit([0, 1, 0])
+        assert p.same_node(0, 2)
+        assert not p.same_node(0, 1)
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ValueError):
+            # node 1 referenced implicitly (max=2) but hosts nobody
+            Placement.explicit([0, 2, 0])
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = Placement.block(2, 3)
+        b = Placement.block(2, 3)
+        c = Placement.round_robin(2, 3)
+        assert a == b and hash(a) == hash(b)
+        assert a != c

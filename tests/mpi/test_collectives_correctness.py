@@ -1,0 +1,276 @@
+"""Data-mode correctness of every collective across comm shapes.
+
+Each collective runs with real NumPy payloads on several (nodes, cores)
+shapes — single node, power-of-two, non-power-of-two, multi-node — and
+results are checked element-for-element against a locally computed
+reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.constants import ReduceOp
+from tests.helpers import returns_of
+
+#: (nodes, cores-per-node) grids covering pof2/non-pof2, single/multi node.
+SHAPES = [(1, 4), (1, 6), (2, 2), (2, 3), (3, 4), (1, 8)]
+
+
+def _shape_id(shape):
+    return f"{shape[0]}x{shape[1]}"
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=_shape_id)
+class TestBcast:
+    def test_values_from_each_root(self, shape):
+        nodes, cores = shape
+        size = nodes * cores
+
+        def prog(mpi):
+            comm = mpi.world
+            results = []
+            for root in range(comm.size):
+                if comm.rank == root:
+                    buf = np.arange(6.0) + root * 10
+                else:
+                    buf = np.empty(6)
+                out = yield from comm.bcast(buf, root=root)
+                results.append(float(np.asarray(out).reshape(-1)[0]))
+            return results
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        for rank_result in rets:
+            assert rank_result == [float(r * 10) for r in range(size)]
+
+    def test_large_message_path(self, shape):
+        nodes, cores = shape
+
+        def prog(mpi):
+            comm = mpi.world
+            n = 4096  # 32 KB > binomial threshold
+            buf = (
+                np.arange(n, dtype=np.float64)
+                if comm.rank == 0
+                else np.empty(n)
+            )
+            out = yield from comm.bcast(buf, root=0)
+            flat = np.asarray(out).reshape(-1)
+            return bool(np.allclose(flat, np.arange(n)))
+
+        assert all(returns_of(prog, nodes=nodes, cores=cores))
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=_shape_id)
+class TestAllgather:
+    def test_rank_stamped_blocks(self, shape):
+        nodes, cores = shape
+
+        def prog(mpi):
+            comm = mpi.world
+            mine = np.full(3, float(comm.rank))
+            blocks = yield from comm.allgather(mine)
+            return [float(np.asarray(b).reshape(-1)[0]) for b in blocks]
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        expected = [float(r) for r in range(nodes * cores)]
+        assert all(r == expected for r in rets)
+
+    def test_allgatherv_variable_sizes(self, shape):
+        nodes, cores = shape
+
+        def prog(mpi):
+            comm = mpi.world
+            mine = np.full(comm.rank + 1, float(comm.rank))
+            blocks = yield from comm.allgatherv(mine)
+            return [np.asarray(b).size for b in blocks]
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        expected = [r + 1 for r in range(nodes * cores)]
+        assert all(r == expected for r in rets)
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=_shape_id)
+class TestReductions:
+    def test_allreduce_sum(self, shape):
+        nodes, cores = shape
+        size = nodes * cores
+
+        def prog(mpi):
+            comm = mpi.world
+            vec = np.array([float(comm.rank), 1.0])
+            out = yield from comm.allreduce(vec, ReduceOp.SUM)
+            return list(np.asarray(out))
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        expected = [sum(range(size)), float(size)]
+        assert all(r == expected for r in rets)
+
+    def test_allreduce_max(self, shape):
+        nodes, cores = shape
+
+        def prog(mpi):
+            comm = mpi.world
+            out = yield from comm.allreduce(
+                np.array([float(comm.rank)]), ReduceOp.MAX
+            )
+            return float(np.asarray(out)[0])
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        assert all(r == nodes * cores - 1 for r in rets)
+
+    def test_reduce_to_each_root(self, shape):
+        nodes, cores = shape
+        size = nodes * cores
+
+        def prog(mpi):
+            comm = mpi.world
+            outs = []
+            for root in range(comm.size):
+                out = yield from comm.reduce(
+                    np.array([1.0, float(comm.rank)]), ReduceOp.SUM, root
+                )
+                outs.append(
+                    None if out is None else list(np.asarray(out))
+                )
+            return outs
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        for rank, outs in enumerate(rets):
+            for root, out in enumerate(outs):
+                if rank == root:
+                    assert out == [float(size), float(sum(range(size)))]
+                else:
+                    assert out is None
+
+    def test_scan_prefix_sums(self, shape):
+        nodes, cores = shape
+
+        def prog(mpi):
+            comm = mpi.world
+            out = yield from comm.scan(
+                np.array([float(comm.rank)]), ReduceOp.SUM
+            )
+            return float(np.asarray(out)[0])
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        assert rets == [float(sum(range(r + 1))) for r in range(nodes * cores)]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=_shape_id)
+class TestGatherScatter:
+    def test_gather(self, shape):
+        nodes, cores = shape
+        size = nodes * cores
+
+        def prog(mpi):
+            comm = mpi.world
+            out = yield from comm.gather(
+                np.array([float(comm.rank * 2)]), root=1 % comm.size
+            )
+            if out is None:
+                return None
+            return [float(np.asarray(b)[0]) for b in out]
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        root = 1 % size
+        assert rets[root] == [float(r * 2) for r in range(size)]
+        assert all(r is None for i, r in enumerate(rets) if i != root)
+
+    def test_gatherv_irregular(self, shape):
+        nodes, cores = shape
+
+        def prog(mpi):
+            comm = mpi.world
+            out = yield from comm.gatherv(
+                np.full(comm.rank + 2, 1.0), root=0
+            )
+            if out is None:
+                return None
+            return [np.asarray(b).size for b in out]
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        assert rets[0] == [r + 2 for r in range(nodes * cores)]
+
+    def test_scatter(self, shape):
+        nodes, cores = shape
+        size = nodes * cores
+
+        def prog(mpi):
+            comm = mpi.world
+            payloads = None
+            if comm.rank == 0:
+                payloads = [np.full(2, float(r * 3)) for r in range(size)]
+            mine = yield from comm.scatter(payloads, root=0)
+            return float(np.asarray(mine)[0])
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        assert rets == [float(r * 3) for r in range(size)]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=_shape_id)
+class TestAlltoall:
+    def test_personalized_exchange(self, shape):
+        nodes, cores = shape
+        size = nodes * cores
+
+        def prog(mpi):
+            comm = mpi.world
+            outgoing = [
+                np.array([float(comm.rank * 100 + dst)])
+                for dst in range(comm.size)
+            ]
+            incoming = yield from comm.alltoall(outgoing)
+            return [float(np.asarray(p)[0]) for p in incoming]
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        for rank, incoming in enumerate(rets):
+            assert incoming == [
+                float(src * 100 + rank) for src in range(size)
+            ]
+
+    def test_large_blocks_use_pairwise(self, shape):
+        nodes, cores = shape
+        size = nodes * cores
+
+        def prog(mpi):
+            comm = mpi.world
+            outgoing = [
+                np.full(300, float(comm.rank * size + dst))  # 2.4 KB
+                for dst in range(comm.size)
+            ]
+            incoming = yield from comm.alltoall(outgoing)
+            return [float(np.asarray(p)[0]) for p in incoming]
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        for rank, incoming in enumerate(rets):
+            assert incoming == [
+                float(src * size + rank) for src in range(size)
+            ]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("shape", SHAPES, ids=_shape_id)
+    def test_barrier_orders_phases(self, shape):
+        nodes, cores = shape
+
+        def prog(mpi):
+            comm = mpi.world
+            # Rank 0 is slow before the barrier; everyone's post-barrier
+            # time must be >= rank 0's pre-barrier finish.
+            if comm.rank == 0:
+                yield mpi.compute(1.0e-3)
+            yield from comm.barrier()
+            return mpi.now
+
+        rets = returns_of(prog, nodes=nodes, cores=cores)
+        assert all(t >= 1.0e-3 for t in rets)
+
+    def test_single_rank_barrier_trivial(self):
+        def prog(mpi):
+            yield from mpi.world.barrier()
+            return mpi.now
+
+        rets = returns_of(prog, nodes=1, cores=1, nprocs=1)
+        assert rets[0] == 0.0

@@ -1,0 +1,131 @@
+"""Integration tests for communicator management."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine import Placement
+from repro.mpi import Bytes, UNDEFINED
+from tests.helpers import returns_of
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def prog(mpi):
+            comm = mpi.world
+            sub = yield from comm.split(color=comm.rank % 2, key=comm.rank)
+            return (sub.rank, sub.size, sub.world_rank_of(0))
+
+        rets = returns_of(prog, nodes=1, cores=4, nprocs=4)
+        # evens -> {0,2}, odds -> {1,3}
+        assert rets[0] == (0, 2, 0)
+        assert rets[2] == (1, 2, 0)
+        assert rets[1] == (0, 2, 1)
+        assert rets[3] == (1, 2, 1)
+
+    def test_split_key_reorders(self):
+        def prog(mpi):
+            comm = mpi.world
+            sub = yield from comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        rets = returns_of(prog, nodes=1, cores=4, nprocs=4)
+        assert rets == [3, 2, 1, 0]
+
+    def test_undefined_color_yields_none(self):
+        def prog(mpi):
+            comm = mpi.world
+            color = 0 if comm.rank == 0 else UNDEFINED
+            sub = yield from comm.split(color=color)
+            return sub is None
+
+        rets = returns_of(prog, nodes=1, cores=4, nprocs=4)
+        assert rets == [False, True, True, True]
+
+    def test_subcomm_messaging_isolated_from_parent(self):
+        def prog(mpi):
+            comm = mpi.world
+            sub = yield from comm.split(color=comm.rank // 2, key=comm.rank)
+            # Same (src=0, dst=1, tag=0) coordinates on parent and sub:
+            # matching must be per-communicator.
+            if comm.rank == 0:
+                yield from comm.send(Bytes(11), 1, tag=0)
+                yield from sub.send(Bytes(22), 1, tag=0)
+                return None
+            if comm.rank == 1:
+                from_sub = yield from sub.recv(source=0, tag=0)
+                from_world = yield from comm.recv(source=0, tag=0)
+                return (from_world.nbytes, from_sub.nbytes)
+            return None
+
+        rets = returns_of(prog, nodes=1, cores=4, nprocs=4)
+        assert rets[1] == (11, 22)
+
+
+class TestSplitTypeShared:
+    def test_groups_by_node(self):
+        def prog(mpi):
+            shm = yield from mpi.world.split_type_shared()
+            return (mpi.node, shm.size, shm.rank)
+
+        rets = returns_of(prog, nodes=2, cores=3, nprocs=6)
+        assert rets[0] == (0, 3, 0)
+        assert rets[2] == (0, 3, 2)
+        assert rets[3] == (1, 3, 0)
+        assert rets[5] == (1, 3, 2)
+
+    def test_round_robin_placement(self):
+        def prog(mpi):
+            shm = yield from mpi.world.split_type_shared()
+            return sorted(
+                shm.world_rank_of(r) for r in range(shm.size)
+            )
+
+        placement = Placement.round_robin(2, 2)
+        rets = returns_of(prog, nodes=2, cores=2, placement=placement)
+        assert rets[0] == [0, 2]  # node 0 hosts world ranks 0 and 2
+        assert rets[1] == [1, 3]
+
+
+class TestDup:
+    def test_dup_has_fresh_matching_namespace(self):
+        def prog(mpi):
+            comm = mpi.world
+            dup = yield from comm.dup()
+            assert dup.id != comm.id
+            if comm.rank == 0:
+                yield from dup.send(Bytes(5), 1, tag=1)
+                yield from comm.send(Bytes(9), 1, tag=1)
+                return None
+            a = yield from comm.recv(source=0, tag=1)
+            b = yield from dup.recv(source=0, tag=1)
+            return (a.nbytes, b.nbytes)
+
+        rets = returns_of(prog, nodes=1, cores=2, nprocs=2)
+        assert rets[1] == (9, 5)
+
+    def test_dup_preserves_ranks(self):
+        def prog(mpi):
+            dup = yield from mpi.world.dup()
+            return (dup.rank, dup.size)
+
+        rets = returns_of(prog, nodes=1, cores=3, nprocs=3)
+        assert rets == [(0, 3), (1, 3), (2, 3)]
+
+
+class TestQueries:
+    def test_node_of(self):
+        def prog(mpi):
+            yield from mpi.world.barrier()
+            return [mpi.world.node_of(r) for r in range(mpi.world.size)]
+
+        rets = returns_of(prog, nodes=2, cores=2, nprocs=4)
+        assert rets[0] == [0, 0, 1, 1]
+
+    def test_repr_mentions_rank(self):
+        def prog(mpi):
+            yield from mpi.world.barrier()
+            return repr(mpi.world)
+
+        rets = returns_of(prog, nodes=1, cores=2, nprocs=2)
+        assert "rank=0/2" in rets[0]

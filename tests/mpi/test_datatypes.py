@@ -1,0 +1,154 @@
+"""Unit tests for payload handling (Bytes, copies, block sets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.collectives.blocks import BlockSet
+from repro.mpi.datatypes import (
+    Bytes,
+    clone,
+    concat,
+    copy_into,
+    nbytes_of,
+    slice_payload,
+)
+
+
+class TestBytes:
+    def test_size(self):
+        assert Bytes(100).nbytes == 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Bytes(-1)
+
+    def test_equality_and_hash(self):
+        assert Bytes(5) == Bytes(5)
+        assert Bytes(5) != Bytes(6)
+        assert hash(Bytes(5)) == hash(Bytes(5))
+
+
+class TestNbytesOf:
+    def test_none_is_zero(self):
+        assert nbytes_of(None) == 0
+
+    def test_ndarray(self):
+        assert nbytes_of(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_bytes_objects(self):
+        assert nbytes_of(b"abc") == 3
+        assert nbytes_of(bytearray(5)) == 5
+
+    def test_duck_typed_nbytes(self):
+        class Blob:
+            nbytes = 42
+
+        assert nbytes_of(Blob()) == 42
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            nbytes_of({"a": 1})
+
+
+class TestCopyInto:
+    def test_none_dst_passthrough(self):
+        src = np.arange(4.0)
+        assert copy_into(None, src) is src
+
+    def test_ndarray_copy(self):
+        dst = np.zeros(4)
+        out = copy_into(dst, np.arange(4.0))
+        assert out is dst
+        np.testing.assert_array_equal(dst, [0, 1, 2, 3])
+
+    def test_truncation_detected(self):
+        with pytest.raises(ValueError):
+            copy_into(np.zeros(2), np.arange(4.0))
+
+    def test_larger_buffer_partial_fill(self):
+        dst = np.full(6, -1.0)
+        copy_into(dst, np.arange(4.0))
+        np.testing.assert_array_equal(dst, [0, 1, 2, 3, -1, -1])
+
+    def test_symbolic_stays_symbolic(self):
+        assert copy_into(Bytes(4), Bytes(4)) == Bytes(4)
+        assert copy_into(None, Bytes(7)) == Bytes(7)
+
+
+class TestClone:
+    def test_ndarray_snapshot_is_independent(self):
+        src = np.arange(4.0)
+        snap = clone(src)
+        src[:] = 99
+        np.testing.assert_array_equal(snap, [0, 1, 2, 3])
+
+    def test_bytes_passthrough(self):
+        b = Bytes(9)
+        assert clone(b) is b
+
+    def test_duck_typed_sim_clone(self):
+        bs = BlockSet({0: np.arange(3.0)})
+        snap = clone(bs)
+        bs.blocks[0][:] = -1
+        np.testing.assert_array_equal(snap.blocks[0], [0, 1, 2])
+
+
+class TestSliceConcat:
+    def test_slice_ndarray(self):
+        out = slice_payload(np.arange(10.0), 2, 5)
+        np.testing.assert_array_equal(out, [2, 3, 4])
+
+    def test_slice_bytes_scales_by_itemsize(self):
+        assert slice_payload(Bytes(80), 2, 5, itemsize=8) == Bytes(24)
+
+    def test_concat_arrays(self):
+        out = concat([np.arange(2.0), np.arange(3.0)])
+        np.testing.assert_array_equal(out, [0, 1, 0, 1, 2])
+
+    def test_concat_bytes(self):
+        assert concat([Bytes(3), Bytes(4)]) == Bytes(7)
+
+    def test_concat_mixed_rejected(self):
+        with pytest.raises(TypeError):
+            concat([Bytes(3), np.zeros(2)])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+
+class TestBlockSet:
+    def test_nbytes_sums_members(self):
+        bs = BlockSet({0: Bytes(10), 3: np.zeros(2)})
+        assert bs.nbytes == 10 + 16
+
+    def test_add_refuses_overwrite(self):
+        bs = BlockSet({0: Bytes(1)})
+        with pytest.raises(KeyError):
+            bs.add(0, Bytes(2))
+
+    def test_merge_keeps_existing(self):
+        bs = BlockSet({0: Bytes(1)})
+        bs.merge(BlockSet({0: Bytes(99), 1: Bytes(2)}))
+        assert bs[0] == Bytes(1)
+        assert bs[1] == Bytes(2)
+
+    def test_as_list_requires_complete(self):
+        bs = BlockSet({0: Bytes(1), 2: Bytes(3)})
+        with pytest.raises(KeyError):
+            bs.as_list(3)
+        bs.add(1, Bytes(2))
+        assert bs.as_list(3) == [Bytes(1), Bytes(2), Bytes(3)]
+
+    def test_subset_and_owners(self):
+        bs = BlockSet({2: Bytes(1), 0: Bytes(2)})
+        assert bs.owners() == [0, 2]
+        sub = bs.subset([2])
+        assert sub.owners() == [2]
+
+    def test_meta_survives_clone_but_not_size(self):
+        bs = BlockSet({0: Bytes(8)}, meta={"origin": 3})
+        assert bs.nbytes == 8
+        assert bs.sim_clone().meta == {"origin": 3}

@@ -1,0 +1,148 @@
+"""Tests for derived datatypes (layout algebra + pack/unpack + costs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.derived import (
+    BYTE,
+    DOUBLE,
+    INT,
+    Contiguous,
+    Indexed,
+    Vector,
+    recv_with_datatype,
+    send_with_datatype,
+)
+from tests.helpers import returns_of
+
+
+class TestLayoutAlgebra:
+    def test_base_types(self):
+        assert DOUBLE.size() == 8
+        assert INT.size() == 4
+        assert BYTE.extent() == 1
+        assert DOUBLE.is_contiguous()
+
+    def test_contiguous(self):
+        t = Contiguous(5, DOUBLE)
+        assert t.count() == 5
+        assert t.size() == 40
+        assert t.is_contiguous()
+        np.testing.assert_array_equal(t.indices(), np.arange(5))
+
+    def test_vector_column_layout(self):
+        # Column of a 4x3 row-major matrix: 4 blocks of 1, stride 3.
+        t = Vector(4, 1, 3, DOUBLE)
+        np.testing.assert_array_equal(t.indices(), [0, 3, 6, 9])
+        assert not t.is_contiguous()
+        assert t.size() == 32
+        assert t.extent() == 10
+
+    def test_vector_degenerate_is_contiguous(self):
+        t = Vector(3, 2, 2, DOUBLE)
+        assert t.is_contiguous()
+
+    def test_vector_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Vector(2, 3, 2, DOUBLE)
+
+    def test_indexed(self):
+        t = Indexed([2, 1], [0, 5], DOUBLE)
+        np.testing.assert_array_equal(t.indices(), [0, 1, 5])
+        assert t.size() == 24
+
+    def test_indexed_validation(self):
+        with pytest.raises(ValueError):
+            Indexed([1], [0, 1])
+        with pytest.raises(ValueError):
+            Indexed([-1], [0])
+
+    def test_offset_displaces(self):
+        t = Vector(2, 1, 3, DOUBLE).offset(1)
+        np.testing.assert_array_equal(t.indices(), [1, 4])
+
+    def test_nested_contiguous_of_vector(self):
+        inner = Vector(2, 1, 2, DOUBLE)   # indices [0, 2], extent 3
+        t = Contiguous(2, inner)
+        np.testing.assert_array_equal(t.indices(), [0, 2, 3, 5])
+
+
+class TestPackUnpack:
+    def test_pack_column(self):
+        m = np.arange(12.0).reshape(4, 3)
+        col = Vector(4, 1, 3, DOUBLE)
+        np.testing.assert_array_equal(
+            col.offset(1).pack(m.reshape(-1)), [1, 4, 7, 10]
+        )
+
+    def test_unpack_roundtrip(self):
+        src = np.arange(12.0)
+        t = Indexed([2, 2], [1, 7], DOUBLE)
+        packed = t.pack(src)
+        dest = np.zeros(12)
+        t.unpack(packed, dest)
+        np.testing.assert_array_equal(dest[[1, 2, 7, 8]], [1, 2, 7, 8])
+        assert dest[0] == 0.0
+
+    def test_packing_time_scales_with_size(self):
+        t = Vector(100, 1, 2, DOUBLE)
+        assert t.packing_time(1e-9) == pytest.approx(800 * 1e-9)
+
+
+class TestCommunication:
+    def test_send_matrix_column(self):
+        def prog(mpi):
+            comm = mpi.world
+            col = Vector(4, 1, 3, DOUBLE).offset(2)
+            if comm.rank == 0:
+                m = np.arange(12.0)
+                yield from send_with_datatype(comm, m, 1, col, tag=3)
+                return None
+            dest = np.zeros(12)
+            yield from recv_with_datatype(comm, dest, col, source=0, tag=3)
+            return [float(x) for x in dest[[2, 5, 8, 11]]]
+
+        rets = returns_of(prog, nodes=1, cores=2, nprocs=2)
+        assert rets[1] == [2.0, 5.0, 8.0, 11.0]
+
+    def test_noncontiguous_charged_more_than_contiguous(self):
+        def make(datatype):
+            def prog(mpi):
+                comm = mpi.world
+                if comm.rank == 0:
+                    t0 = mpi.now
+                    yield from send_with_datatype(
+                        comm, np.zeros(4096), 1, datatype
+                    )
+                    return mpi.now - t0
+                yield from recv_with_datatype(
+                    comm, np.zeros(4096), datatype, source=0
+                )
+                return None
+
+            return prog
+
+        contiguous = Contiguous(2000, DOUBLE)
+        strided = Vector(2000, 1, 2, DOUBLE)
+        t_cont = returns_of(make(contiguous), nodes=1, cores=2, nprocs=2)[0]
+        t_vec = returns_of(make(strided), nodes=1, cores=2, nprocs=2)[0]
+        # Same payload size (16 kB), but the strided send pays packing.
+        assert t_vec > t_cont
+
+    def test_model_mode_sizes_only(self):
+        def prog(mpi):
+            comm = mpi.world
+            t = Vector(8, 1, 4, DOUBLE)
+            if comm.rank == 0:
+                yield from send_with_datatype(comm, None, 1, t)
+                return None
+            payload = yield from recv_with_datatype(
+                comm, None, t, source=0
+            )
+            return payload.nbytes
+
+        rets = returns_of(prog, nodes=1, cores=2, nprocs=2,
+                          payload_mode="model")
+        assert rets[1] == 64

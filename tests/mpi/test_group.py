@@ -1,0 +1,55 @@
+"""Unit tests for process groups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.constants import UNDEFINED
+from repro.mpi.group import Group
+
+
+def test_basic_translation():
+    g = Group([4, 7, 2])
+    assert g.size == 3
+    assert g.world_rank(0) == 4
+    assert g.world_rank(2) == 2
+    assert g.rank_of(7) == 1
+    assert g.rank_of(99) == UNDEFINED
+
+
+def test_contains():
+    g = Group([0, 5])
+    assert g.contains(5)
+    assert not g.contains(4)
+
+
+def test_translate_many():
+    g = Group([10, 20, 30])
+    assert g.translate([2, 0]) == [30, 10]
+
+
+def test_duplicates_rejected():
+    with pytest.raises(ValueError):
+        Group([1, 1])
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        Group([])
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        Group([-1, 0])
+
+
+def test_equality_hash():
+    assert Group([1, 2]) == Group([1, 2])
+    assert Group([1, 2]) != Group([2, 1])
+    assert hash(Group([1, 2])) == hash(Group([1, 2]))
+
+
+def test_len_and_world_ranks():
+    g = Group([3, 1])
+    assert len(g) == 2
+    assert g.world_ranks() == (3, 1)

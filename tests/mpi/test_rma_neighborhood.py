@@ -1,0 +1,191 @@
+"""Tests for one-sided RMA windows and neighborhood collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.cart import cart_create
+from repro.mpi.collectives.neighborhood import (
+    neighbor_alltoall,
+    neighbor_list,
+)
+from repro.mpi.constants import PROC_NULL
+from repro.mpi.errors import WindowError
+from repro.mpi.rma import win_allocate
+from tests.helpers import returns_of
+
+
+class TestRmaBasics:
+    def test_put_visible_at_target(self):
+        def prog(mpi):
+            comm = mpi.world
+            win = yield from win_allocate(comm, 32)
+            if comm.rank == 0:
+                yield from win.lock(1)
+                yield from win.put(np.arange(4.0), target=1)
+                yield from win.unlock(1)
+            yield from win.fence()
+            return list(win.local(np.float64))
+
+        rets = returns_of(prog, nodes=2, cores=1, nprocs=2)
+        assert rets[1] == [0.0, 1.0, 2.0, 3.0]
+        assert rets[0] == [0.0, 0.0, 0.0, 0.0]
+
+    def test_get_fetches_remote(self):
+        def prog(mpi):
+            comm = mpi.world
+            win = yield from win_allocate(comm, 16)
+            win.local(np.float64)[:] = comm.rank + 10.0
+            yield from win.fence()
+            peer = (comm.rank + 1) % comm.size
+            data = yield from win.get(16, target=peer)
+            yield from win.fence()
+            return float(np.asarray(data).view(np.float64)[0])
+
+        rets = returns_of(prog, nodes=2, cores=2)
+        assert rets == [11.0, 12.0, 13.0, 10.0]
+
+    def test_accumulate_adds(self):
+        def prog(mpi):
+            comm = mpi.world
+            win = yield from win_allocate(comm, 8)
+            win.local(np.float64)[:] = 0.0
+            yield from win.fence()
+            yield from win.lock(0)
+            yield from win.accumulate(np.array([1.0]), target=0)
+            yield from win.unlock(0)
+            yield from win.fence()
+            return float(win.local(np.float64)[0])
+
+        rets = returns_of(prog, nodes=2, cores=2)
+        assert rets[0] == 4.0  # all four ranks accumulated into rank 0
+
+    def test_offset_put(self):
+        def prog(mpi):
+            comm = mpi.world
+            win = yield from win_allocate(comm, 32)
+            if comm.rank == 0:
+                yield from win.put(np.array([9.0]), target=1, offset=16)
+            yield from win.fence()
+            return list(win.local(np.float64))
+
+        rets = returns_of(prog, nodes=1, cores=2, nprocs=2)
+        assert rets[1] == [0.0, 0.0, 9.0, 0.0]
+
+    def test_bounds_checked(self):
+        def prog(mpi):
+            comm = mpi.world
+            win = yield from win_allocate(comm, 8)
+            err = None
+            try:
+                yield from win.put(np.arange(4.0), target=0)  # 32 > 8
+            except WindowError:
+                err = "bounds"
+            yield from win.fence()
+            return err
+
+        rets = returns_of(prog, nodes=1, cores=2, nprocs=2)
+        assert all(r == "bounds" for r in rets)
+
+    def test_exclusive_lock_serializes(self):
+        def prog(mpi):
+            comm = mpi.world
+            win = yield from win_allocate(comm, 8)
+            yield from win.fence()
+            yield from win.lock(0)
+            start = mpi.now
+            yield mpi.compute(1e-3)  # hold the lock
+            yield from win.unlock(0)
+            yield from win.fence()
+            return start
+
+        rets = returns_of(prog, nodes=1, cores=3, nprocs=3)
+        # Hold times must not overlap: starts separated by >= 1 ms.
+        starts = sorted(rets)
+        assert starts[1] - starts[0] >= 1e-3
+        assert starts[2] - starts[1] >= 1e-3
+
+    def test_remote_access_slower_than_local(self):
+        def prog(mpi):
+            comm = mpi.world
+            win = yield from win_allocate(comm, 4096)
+            yield from win.fence()
+            t0 = mpi.now
+            yield from win.put(np.zeros(512), target=comm.rank)  # local
+            local = mpi.now - t0
+            t0 = mpi.now
+            yield from win.put(np.zeros(512), target=(comm.rank + 1) % 2)
+            remote = mpi.now - t0
+            yield from win.fence()
+            return (local, remote)
+
+        rets = returns_of(prog, nodes=2, cores=1, nprocs=2)
+        assert all(r[1] > r[0] for r in rets)
+
+    def test_model_mode_symbolic(self):
+        def prog(mpi):
+            comm = mpi.world
+            win = yield from win_allocate(comm, 64)
+            yield from win.fence()
+            data = yield from win.get(64, target=(comm.rank + 1) % 2)
+            yield from win.fence()
+            return (win.local() is None, data.nbytes)
+
+        rets = returns_of(prog, nodes=1, cores=2, nprocs=2,
+                          payload_mode="model")
+        assert all(r == (True, 64) for r in rets)
+
+
+class TestNeighborhood:
+    def test_neighbor_list_order(self):
+        def prog(mpi):
+            cart = cart_create(mpi.world, (2, 2), periods=(False, False))
+            yield from mpi.world.barrier()
+            return neighbor_list(cart)
+
+        rets = returns_of(prog, nodes=1, cores=4, nprocs=4)
+        # rank 0 at (0,0): up none, down rank 2, left none, right rank 1.
+        assert rets[0] == [PROC_NULL, 2, PROC_NULL, 1]
+        # rank 3 at (1,1): up rank 1, down none, left rank 2, right none.
+        assert rets[3] == [1, PROC_NULL, 2, PROC_NULL]
+
+    def test_exchange_values(self):
+        def prog(mpi):
+            cart = cart_create(mpi.world, (2, 2), periods=(True, True))
+            mine = float(mpi.world.rank)
+            payloads = [np.array([mine])] * 4
+            got = yield from neighbor_alltoall(cart, payloads)
+            return [
+                None if g is None else float(np.asarray(g)[0]) for g in got
+            ]
+
+        rets = returns_of(prog, nodes=1, cores=4, nprocs=4)
+        # Periodic 2x2 grid: up/down neighbour is rank^2, left/right ^1.
+        assert rets[0] == [2.0, 2.0, 1.0, 1.0]
+        assert rets[3] == [1.0, 1.0, 2.0, 2.0]
+
+    def test_open_boundaries_give_none(self):
+        def prog(mpi):
+            cart = cart_create(mpi.world, (4,), periods=(False,))
+            payloads = [np.array([float(mpi.world.rank)])] * 2
+            got = yield from neighbor_alltoall(cart, payloads)
+            return [g is None for g in got]
+
+        rets = returns_of(prog, nodes=1, cores=4, nprocs=4)
+        assert rets[0] == [True, False]
+        assert rets[3] == [False, True]
+
+    def test_payload_arity_checked(self):
+        def prog(mpi):
+            cart = cart_create(mpi.world, (2,), periods=(True,))
+            err = None
+            try:
+                yield from neighbor_alltoall(cart, [np.zeros(1)])
+            except ValueError:
+                err = "arity"
+            yield from mpi.world.barrier()
+            return err
+
+        rets = returns_of(prog, nodes=1, cores=2, nprocs=2)
+        assert all(r == "arity" for r in rets)

@@ -1,0 +1,327 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import (
+    AllOf,
+    AnyOf,
+    DeadlockError,
+    Engine,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+class TestEvent:
+    def test_pending_event_has_no_value(self, engine):
+        ev = engine.event("x")
+        assert not ev.triggered
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_succeed_delivers_value(self, engine):
+        ev = engine.event()
+        ev.succeed(42)
+        assert ev.triggered and ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self, engine):
+        ev = engine.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self, engine):
+        ev = engine.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_failed_event_value_raises(self, engine):
+        ev = engine.event()
+        ev.fail(ValueError("boom"))
+        engine.run()
+        assert ev.triggered and not ev.ok
+        with pytest.raises(ValueError):
+            _ = ev.value
+
+    def test_callback_after_processed_still_fires(self, engine):
+        ev = engine.event()
+        ev.succeed("late")
+        engine.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        engine.run()
+        assert seen == ["late"]
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, engine):
+        fired = []
+
+        def proc():
+            yield engine.timeout(2.5)
+            fired.append(engine.now)
+
+        engine.spawn(proc())
+        engine.run()
+        assert fired == [2.5]
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.timeout(-1.0)
+
+    def test_zero_delay_runs_immediately(self, engine):
+        order = []
+
+        def proc(tag):
+            yield engine.timeout(0.0)
+            order.append(tag)
+
+        engine.spawn(proc("a"))
+        engine.spawn(proc("b"))
+        engine.run()
+        assert order == ["a", "b"]
+        assert engine.now == 0.0
+
+    def test_timeout_carries_value(self, engine):
+        got = []
+
+        def proc():
+            v = yield engine.timeout(1.0, value="hello")
+            got.append(v)
+
+        engine.spawn(proc())
+        engine.run()
+        assert got == ["hello"]
+
+
+class TestProcess:
+    def test_return_value_via_stopiteration(self, engine):
+        def child():
+            yield engine.timeout(1.0)
+            return "result"
+
+        def parent():
+            value = yield engine.spawn(child())
+            return value
+
+        p = engine.spawn(parent())
+        engine.run()
+        assert p.value == "result"
+
+    def test_spawn_requires_generator(self, engine):
+        def not_a_generator():
+            return 3
+
+        with pytest.raises(TypeError):
+            engine.spawn(not_a_generator)  # the function itself
+        with pytest.raises(TypeError):
+            engine.spawn(not_a_generator())
+
+    def test_exception_propagates_to_waiter(self, engine):
+        def child():
+            yield engine.timeout(1.0)
+            raise ValueError("child broke")
+
+        caught = []
+
+        def parent():
+            try:
+                yield engine.spawn(child())
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        engine.spawn(parent())
+        engine.run()
+        assert caught == ["child broke"]
+
+    def test_unwaited_crash_surfaces(self, engine):
+        def crasher():
+            yield engine.timeout(1.0)
+            raise RuntimeError("unobserved")
+
+        engine.spawn(crasher())
+        with pytest.raises(SimulationError, match="unhandled"):
+            engine.run()
+
+    def test_process_is_alive_until_done(self, engine):
+        def worker():
+            yield engine.timeout(5.0)
+
+        p = engine.spawn(worker())
+        assert p.is_alive
+        engine.run()
+        assert not p.is_alive
+
+    def test_interrupt_raises_in_process(self, engine):
+        events = []
+
+        def sleeper():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupt as i:
+                events.append(("interrupted", i.cause, engine.now))
+
+        def killer(victim):
+            yield engine.timeout(3.0)
+            victim.interrupt("stop now")
+
+        victim = engine.spawn(sleeper())
+        engine.spawn(killer(victim))
+        engine.run()
+        assert events == [("interrupted", "stop now", 3.0)]
+
+    def test_yielding_garbage_fails_process(self, engine):
+        def bad():
+            yield 12345
+
+        p = engine.spawn(bad())
+        waiter_caught = []
+
+        def waiter():
+            try:
+                yield p
+            except SimulationError:
+                waiter_caught.append(True)
+
+        engine.spawn(waiter())
+        engine.run()
+        assert waiter_caught == [True]
+
+
+class TestComposites:
+    def test_allof_collects_in_order(self, engine):
+        def child(d, v):
+            yield engine.timeout(d)
+            return v
+
+        got = []
+
+        def parent():
+            a = engine.spawn(child(3.0, "slow"))
+            b = engine.spawn(child(1.0, "fast"))
+            values = yield AllOf([a, b])
+            got.append((engine.now, values))
+
+        engine.spawn(parent())
+        engine.run()
+        assert got == [(3.0, ["slow", "fast"])]
+
+    def test_allof_empty_completes_immediately(self, engine):
+        got = []
+
+        def parent():
+            values = yield AllOf([])
+            got.append(values)
+
+        engine.spawn(parent())
+        engine.run()
+        assert got == [[]]
+
+    def test_anyof_returns_first(self, engine):
+        def child(d, v):
+            yield engine.timeout(d)
+            return v
+
+        got = []
+
+        def parent():
+            a = engine.spawn(child(3.0, "slow"))
+            b = engine.spawn(child(1.0, "fast"))
+            index, value = yield AnyOf([a, b])
+            got.append((engine.now, index, value))
+            yield a  # drain the slow one
+
+        engine.spawn(parent())
+        engine.run()
+        assert got == [(1.0, 1, "fast")]
+
+    def test_anyof_requires_children(self, engine):
+        with pytest.raises(ValueError):
+            AnyOf([])
+
+    def test_allof_failure_propagates(self, engine):
+        def bad():
+            yield engine.timeout(1.0)
+            raise ValueError("nope")
+
+        def good():
+            yield engine.timeout(2.0)
+
+        caught = []
+
+        def parent():
+            try:
+                yield AllOf([engine.spawn(bad()), engine.spawn(good())])
+            except ValueError:
+                caught.append(engine.now)
+
+        engine.spawn(parent())
+        engine.run()
+        assert caught == [1.0]
+
+
+class TestRunLoop:
+    def test_deadlock_detection_names_processes(self, engine):
+        def stuck():
+            yield engine.event("never")
+
+        engine.spawn(stuck(), name="victim")
+        with pytest.raises(DeadlockError, match="victim"):
+            engine.run()
+
+    def test_run_until_stops_at_time(self, engine):
+        log = []
+
+        def ticker():
+            for _ in range(10):
+                yield engine.timeout(1.0)
+                log.append(engine.now)
+
+        engine.spawn(ticker())
+        engine.run(until=3.5)
+        assert log == [1.0, 2.0, 3.0]
+        assert engine.now == 3.5
+
+    def test_determinism_same_trace(self):
+        def build():
+            eng = Engine()
+            order = []
+
+            def proc(tag, delay):
+                yield eng.timeout(delay)
+                order.append(tag)
+                yield eng.timeout(delay)
+                order.append(tag.upper())
+
+            for i, d in enumerate([0.3, 0.1, 0.2]):
+                eng.spawn(proc(f"p{i}", d))
+            eng.run()
+            return order, eng.event_count
+
+        assert build() == build()
+
+    def test_simultaneous_events_fire_in_schedule_order(self, engine):
+        order = []
+
+        def proc(tag):
+            yield engine.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abcde":
+            engine.spawn(proc(tag))
+        engine.run()
+        assert order == list("abcde")
+
+    def test_event_count_advances(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+
+        engine.spawn(proc())
+        engine.run()
+        assert engine.event_count > 0

@@ -1,0 +1,38 @@
+"""Smoke-run every example script (they self-check internally)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, args) — arguments shrink the runs to test-suite scale.
+RUNS = [
+    ("quickstart.py", []),
+    ("summa_matmul.py", ["16"]),
+    ("bpmf_factorization.py", []),
+    ("stencil_halo.py", []),
+    ("osu_microbenchmark.py", ["64"]),
+    ("power_iteration.py", ["96"]),
+]
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == {name for name, _args in RUNS}
+
+
+@pytest.mark.parametrize("name,args", RUNS, ids=[r[0] for r in RUNS])
+def test_example_runs_clean(name, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their findings"

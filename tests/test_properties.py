@@ -1,0 +1,274 @@
+"""Property-based tests (hypothesis) on core data structures & invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import NodeSortedLayout
+from repro.machine import Placement
+from repro.mpi import Bytes
+from repro.mpi.collectives.blocks import BlockSet
+from repro.mpi.collectives.reduce import combine
+from repro.mpi.constants import ReduceOp
+from repro.mpi.datatypes import clone, copy_into, nbytes_of
+from repro.simulator import Engine
+
+# Keep rank-program properties cheap: small shapes, few examples.
+_SMALL = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Placement properties
+# ---------------------------------------------------------------------------
+
+placements = st.one_of(
+    st.builds(
+        Placement.block,
+        st.integers(1, 6),
+        st.integers(1, 8),
+    ),
+    st.builds(
+        Placement.round_robin,
+        st.integers(1, 6),
+        st.integers(1, 8),
+    ),
+    st.builds(
+        Placement.irregular,
+        st.lists(st.integers(1, 8), min_size=1, max_size=6),
+    ),
+)
+
+
+@given(placements)
+@_SMALL
+def test_placement_partitions_ranks(p: Placement):
+    """Every rank is on exactly one node; nodes partition the ranks."""
+    seen = []
+    for node in range(p.num_nodes):
+        ranks = p.ranks_on(node)
+        assert ranks == sorted(ranks)
+        seen.extend(ranks)
+    assert sorted(seen) == list(range(p.num_ranks))
+
+
+@given(placements)
+@_SMALL
+def test_placement_leader_is_min_rank(p: Placement):
+    for node in range(p.num_nodes):
+        assert p.leader_of(node) == min(p.ranks_on(node))
+    assert len(p.leaders()) == p.num_nodes
+
+
+@given(placements)
+@_SMALL
+def test_placement_slot_consistency(p: Placement):
+    for node in range(p.num_nodes):
+        for slot, rank in enumerate(p.ranks_on(node)):
+            assert p.slot_of(rank) == slot
+            assert p.node_of(rank) == node
+
+
+@given(placements)
+@_SMALL
+def test_node_sorted_ranks_is_permutation(p: Placement):
+    ns = p.node_sorted_ranks()
+    assert sorted(ns) == list(range(p.num_ranks))
+
+
+# ---------------------------------------------------------------------------
+# NodeSortedLayout properties
+# ---------------------------------------------------------------------------
+
+@given(placements)
+@_SMALL
+def test_layout_slots_are_bijective(p: Placement):
+    lay = NodeSortedLayout(tuple(range(p.num_ranks)), p)
+    slots = [lay.slot_of_rank(r) for r in range(p.num_ranks)]
+    assert sorted(slots) == list(range(p.num_ranks))
+    for r in range(p.num_ranks):
+        assert lay.rank_of_slot(lay.slot_of_rank(r)) == r
+
+
+@given(placements)
+@_SMALL
+def test_layout_node_regions_tile_the_buffer(p: Placement):
+    lay = NodeSortedLayout(tuple(range(p.num_ranks)), p)
+    start = 0
+    for node in lay.nodes:
+        assert lay.node_slot_start(node) == start
+        start += lay.node_count(node)
+    assert start == p.num_ranks
+
+
+# ---------------------------------------------------------------------------
+# Payload properties
+# ---------------------------------------------------------------------------
+
+payloads = st.one_of(
+    st.integers(0, 4096).map(Bytes),
+    st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=0, max_size=64
+    ).map(lambda xs: np.asarray(xs, dtype=np.float64)),
+)
+
+
+@given(payloads)
+@_SMALL
+def test_clone_preserves_size_and_value(p):
+    c = clone(p)
+    assert nbytes_of(c) == nbytes_of(p)
+    if isinstance(p, np.ndarray):
+        np.testing.assert_array_equal(c, p)
+
+
+@given(st.lists(st.floats(-1e3, 1e3, allow_nan=False),
+                min_size=1, max_size=32))
+@_SMALL
+def test_copy_into_roundtrip(xs):
+    src = np.asarray(xs)
+    dst = np.empty_like(src)
+    copy_into(dst, src)
+    np.testing.assert_array_equal(dst, src)
+
+
+@given(
+    st.dictionaries(st.integers(0, 20), st.integers(0, 512).map(Bytes),
+                    max_size=8)
+)
+@_SMALL
+def test_blockset_nbytes_is_sum(blocks):
+    bs = BlockSet(blocks)
+    assert bs.nbytes == sum(b.nbytes for b in blocks.values())
+    snap = bs.sim_clone()
+    assert snap.nbytes == bs.nbytes
+    assert snap.owners() == bs.owners()
+
+
+@given(
+    st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=16),
+    st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=16),
+    st.sampled_from([ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX]),
+)
+@_SMALL
+def test_combine_matches_numpy(a, b, op):
+    n = min(len(a), len(b))
+    x = np.asarray(a[:n])
+    y = np.asarray(b[:n])
+    ref = {
+        ReduceOp.SUM: np.add, ReduceOp.MIN: np.minimum,
+        ReduceOp.MAX: np.maximum,
+    }[op](x, y)
+    np.testing.assert_allclose(combine(x, y, op), ref)
+
+
+@given(
+    st.sampled_from([ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX]),
+    st.lists(
+        st.lists(st.floats(-100, 100, allow_nan=False),
+                 min_size=4, max_size=4),
+        min_size=2, max_size=6,
+    ),
+)
+@_SMALL
+def test_combine_is_associative_under_reordering(op, vectors):
+    """Tree reduction order must not change SUM/MIN/MAX results
+    (up to float tolerance)."""
+    arrays = [np.asarray(v) for v in vectors]
+    left = arrays[0]
+    for a in arrays[1:]:
+        left = combine(left, a, op)
+    right = arrays[-1]
+    for a in reversed(arrays[:-1]):
+        right = combine(a, right, op)
+    np.testing.assert_allclose(left, right, rtol=1e-9, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Engine determinism property
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(0.0, 10.0, allow_nan=False),
+                min_size=1, max_size=12))
+@_SMALL
+def test_engine_completion_order_deterministic(delays):
+    def trace():
+        eng = Engine()
+        order = []
+
+        def proc(i, d):
+            yield eng.timeout(d)
+            order.append(i)
+
+        for i, d in enumerate(delays):
+            eng.spawn(proc(i, d))
+        eng.run()
+        return order
+
+    first = trace()
+    assert first == trace()
+    # Completion order sorts by (delay, spawn index).
+    expected = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+    assert first == expected
+
+
+# ---------------------------------------------------------------------------
+# End-to-end collective invariants on random shapes
+# ---------------------------------------------------------------------------
+
+@given(
+    nodes=st.integers(1, 3),
+    cores=st.integers(1, 4),
+    count=st.integers(1, 16),
+)
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_allgather_complete_and_ordered(nodes, cores, count):
+    from tests.helpers import returns_of
+
+    def prog(mpi):
+        comm = mpi.world
+        mine = np.full(count, float(comm.rank))
+        blocks = yield from comm.allgather(mine)
+        return [float(np.asarray(b).reshape(-1)[0]) for b in blocks]
+
+    rets = returns_of(prog, nodes=nodes, cores=cores)
+    expected = [float(r) for r in range(nodes * cores)]
+    assert all(r == expected for r in rets)
+
+
+@given(
+    nodes=st.integers(1, 3),
+    cores=st.integers(1, 4),
+)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_hybrid_allgather_equals_pure(nodes, cores):
+    """The paper's central semantic claim: the hybrid allgather delivers
+    exactly the pure-MPI allgather's result (one shared copy per node)."""
+    from repro.core import HybridContext
+    from tests.helpers import returns_of
+
+    def pure(mpi):
+        comm = mpi.world
+        mine = np.arange(4.0) + comm.rank * 10
+        blocks = yield from comm.allgather(mine)
+        return list(np.concatenate([np.asarray(b).reshape(-1)
+                                    for b in blocks]))
+
+    def hybrid(mpi):
+        comm = mpi.world
+        ctx = yield from HybridContext.create(comm)
+        buf = yield from ctx.allgather_buffer(32)
+        buf.local_view(np.float64)[:] = np.arange(4.0) + comm.rank * 10
+        yield from ctx.allgather(buf)
+        return list(buf.node_view(np.float64))
+
+    a = returns_of(pure, nodes=nodes, cores=cores)
+    b = returns_of(hybrid, nodes=nodes, cores=cores)
+    assert a == b

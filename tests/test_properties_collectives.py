@@ -1,0 +1,160 @@
+"""Property-based tests over randomized collective configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Placement
+from repro.mpi.constants import ReduceOp
+from tests.helpers import returns_of
+
+_CHEAP = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Random irregular placements of 2..10 ranks over 1..4 nodes.
+irregular_placements = st.lists(
+    st.integers(1, 4), min_size=1, max_size=4
+).map(Placement.irregular)
+
+
+@given(placement=irregular_placements, root=st.integers(0, 100))
+@_CHEAP
+def test_bcast_any_root_any_placement(placement, root):
+    size = placement.num_ranks
+    root %= size
+
+    def prog(mpi):
+        comm = mpi.world
+        buf = (
+            np.arange(5.0) + root if comm.rank == root else np.empty(5)
+        )
+        out = yield from comm.bcast(buf, root=root)
+        return list(np.asarray(out).reshape(-1))
+
+    rets = returns_of(prog, nodes=placement.num_nodes, cores=4,
+                      placement=placement)
+    expected = [float(root + i) for i in range(5)]
+    assert all(r == expected for r in rets)
+
+
+@given(placement=irregular_placements,
+       op=st.sampled_from([ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX]))
+@_CHEAP
+def test_allreduce_matches_numpy_any_placement(placement, op):
+    size = placement.num_ranks
+
+    def prog(mpi):
+        comm = mpi.world
+        vec = np.array([float(comm.rank), float(comm.rank % 3)])
+        out = yield from comm.allreduce(vec, op)
+        return list(np.asarray(out))
+
+    rets = returns_of(prog, nodes=placement.num_nodes, cores=4,
+                      placement=placement)
+    ref_fn = {
+        ReduceOp.SUM: np.sum, ReduceOp.MIN: np.min, ReduceOp.MAX: np.max,
+    }[op]
+    contributions = np.array(
+        [[float(r), float(r % 3)] for r in range(size)]
+    )
+    expected = list(ref_fn(contributions, axis=0))
+    assert all(r == expected for r in rets)
+
+
+@given(placement=irregular_placements, extra=st.integers(0, 6))
+@_CHEAP
+def test_allgatherv_irregular_sizes_any_placement(placement, extra):
+    def prog(mpi):
+        comm = mpi.world
+        count = 1 + (comm.rank + extra) % 4
+        mine = np.full(count, float(comm.rank))
+        blocks = yield from comm.allgatherv(mine)
+        return [
+            (np.asarray(b).size, float(np.asarray(b).reshape(-1)[0]))
+            for b in blocks
+        ]
+
+    rets = returns_of(prog, nodes=placement.num_nodes, cores=4,
+                      placement=placement)
+    expected = [
+        (1 + (r + extra) % 4, float(r))
+        for r in range(placement.num_ranks)
+    ]
+    assert all(r == expected for r in rets)
+
+
+@given(placement=irregular_placements)
+@_CHEAP
+def test_hybrid_bcast_equals_pure_any_placement(placement):
+    from repro.core import HybridContext
+
+    def pure(mpi):
+        comm = mpi.world
+        buf = np.arange(4.0) if comm.rank == 0 else np.empty(4)
+        out = yield from comm.bcast(buf, root=0)
+        return list(np.asarray(out).reshape(-1))
+
+    def hybrid(mpi):
+        comm = mpi.world
+        ctx = yield from HybridContext.create(comm)
+        buf = yield from ctx.bcast_buffer(32)
+        if comm.rank == 0:
+            buf.node_view(np.float64)[:] = np.arange(4.0)
+        yield from ctx.bcast(buf, root=0)
+        return list(buf.node_view(np.float64))
+
+    a = returns_of(pure, nodes=placement.num_nodes, cores=4,
+                   placement=placement)
+    b = returns_of(hybrid, nodes=placement.num_nodes, cores=4,
+                   placement=placement)
+    assert a == b
+
+
+@given(
+    nranks=st.integers(2, 8),
+    blocks_scale=st.integers(1, 5),
+)
+@_CHEAP
+def test_reduce_scatter_conserves_total(nranks, blocks_scale):
+    """Sum of the scattered reductions equals the reduction of sums."""
+
+    def prog(mpi):
+        comm = mpi.world
+        vec = (np.arange(float(comm.size * blocks_scale))
+               * (comm.rank + 1))
+        mine = yield from comm.reduce_scatter(vec, ReduceOp.SUM)
+        return float(np.asarray(mine).sum())
+
+    rets = returns_of(prog, nodes=1, cores=nranks, nprocs=nranks)
+    total_of_parts = sum(rets)
+    full = sum(
+        (np.arange(float(nranks * blocks_scale)) * (r + 1)).sum()
+        for r in range(nranks)
+    )
+    assert total_of_parts == float(full)
+
+
+@given(seed=st.integers(0, 10_000))
+@_CHEAP
+def test_engine_time_never_decreases_through_collectives(seed):
+    rng = np.random.default_rng(seed)
+    delays = rng.random(4) * 1e-4
+
+    def prog(mpi):
+        comm = mpi.world
+        stamps = [mpi.now]
+        yield mpi.compute(float(delays[comm.rank]))
+        stamps.append(mpi.now)
+        yield from comm.barrier()
+        stamps.append(mpi.now)
+        yield from comm.allgather(np.array([1.0]))
+        stamps.append(mpi.now)
+        return stamps
+
+    rets = returns_of(prog, nodes=2, cores=2)
+    for stamps in rets:
+        assert stamps == sorted(stamps)
