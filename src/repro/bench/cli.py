@@ -7,14 +7,23 @@ Examples::
     repro-bench --figure fig9a --mode paper
     repro-bench --all --mode quick --out results.txt
     python -m repro.bench --figure fig12
+
+Algorithm-selection ablations (the registry's pluggable policies)::
+
+    repro-bench --list-algos
+    repro-bench --figure fig7 --policy cost_model
+    repro-bench --figure fig9a --algo allgather=ring
+    repro-bench --figure fig7 --algo allgather=bruck --algo bcast=binomial
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench.figures import FIGURES, get_figure
+from repro.mpi.collectives import registry as _registry
 
 __all__ = ["main"]
 
@@ -51,12 +60,66 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
     )
+    parser.add_argument(
+        "--policy", choices=("table", "cost_model"),
+        help=(
+            "collective selection policy for all runs "
+            "(default: the behavior-preserving decision tables)"
+        ),
+    )
+    parser.add_argument(
+        "--algo", action="append", metavar="OP=NAME", default=[],
+        help=(
+            "force one collective's algorithm, e.g. allgather=ring "
+            "(repeatable; see --list-algos for names)"
+        ),
+    )
+    parser.add_argument(
+        "--list-algos", action="store_true",
+        help="list registered collective algorithms per op",
+    )
     return parser
+
+
+def _selection_env(policy: str | None, algos: list[str]) -> dict[str, str]:
+    """Translate --policy/--algo into REPRO_COLL_* environment variables.
+
+    The figures construct their :class:`~repro.mpi.runtime.MPIJob`
+    internally, and a job built without an explicit policy resolves one
+    from the environment — so the CLI simply stages the same variables a
+    user would export by hand."""
+    env: dict[str, str] = {}
+    if policy:
+        env[_registry.ENV_POLICY] = policy
+    for spec in algos:
+        op, sep, name = spec.partition("=")
+        op, name = op.strip().lower(), name.strip()
+        if not sep or not op or not name:
+            raise ValueError(
+                f"--algo expects OP=NAME (e.g. allgather=ring), got {spec!r}"
+            )
+        _registry.get_algorithm(op, name)  # fail fast on typos
+        env[_registry.ENV_OP_PREFIX + op.upper()] = name
+    return env
+
+
+def _print_algos() -> None:
+    for op in sorted(_registry.ops()):
+        names = ", ".join(
+            f"{d.name}{'*' if d.kind != 'flat' else ''}"
+            for d in _registry.algorithms_for(op)
+        )
+        print(f"{op:16s} {names}")
+    print("\n(* = hierarchical/hybrid variant; force with --algo OP=NAME "
+          f"or the {_registry.ENV_OP_PREFIX}<OP> environment variable)")
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.list_algos:
+        _print_algos()
+        return 0
     if args.list:
         width = max(len(k) for k in FIGURES)
         for fid in sorted(FIGURES):
@@ -67,21 +130,42 @@ def main(argv: list[str] | None = None) -> int:
         print("nothing to do: pass --figure <id>, --all, or --list",
               file=sys.stderr)
         return 2
+    try:
+        selection_env = _selection_env(args.policy, args.algo)
+    except (ValueError, KeyError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
     ids = sorted(FIGURES) if args.all else [args.figure]
     outputs = []
     report_pairs = []
-    for fid in ids:
+    saved = {k: os.environ.get(k) for k in selection_env}
+    os.environ.update(selection_env)
+    try:
         try:
-            figure = get_figure(fid)
-        except KeyError as exc:
+            # Validate the merged REPRO_COLL_* environment (including
+            # variables the user exported) before any figure runs.
+            _registry.resolve_policy(None)
+        except (ValueError, KeyError) as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
-        result = figure.run(mode=args.mode, progress=not args.quiet)
-        text = result.render()
-        print(text)
-        print(f"(wall time {result.wall_seconds:.1f}s)\n")
-        outputs.append(text)
-        report_pairs.append((result, figure.paper_claim))
+        for fid in ids:
+            try:
+                figure = get_figure(fid)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            result = figure.run(mode=args.mode, progress=not args.quiet)
+            text = result.render()
+            print(text)
+            print(f"(wall time {result.wall_seconds:.1f}s)\n")
+            outputs.append(text)
+            report_pairs.append((result, figure.paper_claim))
+    finally:
+        for key, old in saved.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
     if args.out:
         with open(args.out, "a", encoding="utf-8") as fh:
             for text in outputs:

@@ -314,8 +314,8 @@ def _abl_multileader_sweep(mode: str) -> list[dict]:
 
 
 def _multileader_program(mpi, nbytes_per_rank: int, leaders: int):
-    from repro.mpi.collectives import _bridge_allgatherv
     from repro.mpi.collectives.hierarchical import multileader_allgather
+    from repro.mpi.collectives.registry import bridge_allgatherv
     from repro.mpi.datatypes import Bytes
 
     comm = mpi.world
@@ -323,7 +323,7 @@ def _multileader_program(mpi, nbytes_per_rank: int, leaders: int):
     total = nbytes_per_rank * comm.size
 
     def select_bridge(bridge, blocks, tag):
-        result = yield from _bridge_allgatherv(bridge, blocks, tag, total)
+        result = yield from bridge_allgatherv(bridge, blocks, tag, total)
         return result
 
     # Warm-up builds the leader hierarchy (one-off, excluded from timing).

@@ -56,7 +56,7 @@ def hybrid_allgather_program(mpi, nbytes_per_rank: int,
                              reps: int = DEFAULT_REPS,
                              warmup: int = DEFAULT_WARMUP,
                              sync: SyncPolicy | None = None,
-                             pipelined: bool = False,
+                             pipelined: bool | None = None,
                              chunk_bytes: int = 128 * 1024,
                              pack_datatypes: bool = False):
     """Rank program measuring the paper's Hy_Allgather latency."""

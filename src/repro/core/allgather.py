@@ -21,15 +21,38 @@ from __future__ import annotations
 
 from repro.core.shared_buffer import SharedBuffer
 from repro.core.sync import SyncPolicy
+from repro.mpi.collectives.registry import CollRequest, policy_of, trace_event
 
 __all__ = ["hy_allgather", "hy_allgatherv"]
+
+
+def _select_hy_allgather(ctx, buf, pipelined):
+    """Pick the bridge-exchange variant and record it in the trace.
+
+    ``pipelined=True`` is a caller-forced choice (the ablation knob
+    predating the registry); ``False``/``None`` delegates to the rank's
+    selection policy — the ``shared_window`` descriptor under the
+    default tables, ``pipelined_ring`` when forced via
+    ``REPRO_COLL_HY_ALLGATHER`` or preferred by the cost model."""
+    total = buf.total_nbytes
+    comm = ctx.comm
+    if pipelined:
+        name, policy_name = "pipelined_ring", "caller"
+    else:
+        policy = policy_of(comm)
+        req = CollRequest(
+            op="hy_allgather", nbytes=total // max(comm.size, 1), total=total
+        )
+        name, policy_name = policy.select(comm, req).name, policy.name
+    trace_event(comm, "hy_allgather", name, total, policy_name)
+    return name == "pipelined_ring"
 
 
 def hy_allgather(
     ctx,
     buf: SharedBuffer,
     sync: SyncPolicy | None = None,
-    pipelined: bool = False,
+    pipelined: bool | None = None,
     chunk_bytes: int = 128 * 1024,
     pack_datatypes: bool = False,
 ):
@@ -39,6 +62,10 @@ def hy_allgather(
     After completion every rank on every node can read the full result
     from ``buf.node_view()`` with plain loads.
 
+    ``pipelined=True`` forces the chunked pipelined-ring bridge exchange;
+    ``False``/``None`` lets the selection policy choose (the plain
+    shared-window exchange under the default tables).
+
     ``pack_datatypes`` selects the §6 *derived-datatype* fallback for
     non-SMP rank placements: instead of the node-sorted buffer layout,
     the leader packs its node's (conceptually non-contiguous) blocks
@@ -47,6 +74,7 @@ def hy_allgather(
     node-sorted layout no packing is ever needed.
     """
     sync = sync or ctx.default_sync
+    pipelined = _select_hy_allgather(ctx, buf, pipelined)
     if not ctx.multi_node:
         # Fig 4 lines 29-30 / 37-38: single node → a single barrier makes
         # the buffer consistent.
@@ -95,7 +123,7 @@ def hy_allgatherv(
     ctx,
     buf: SharedBuffer,
     sync: SyncPolicy | None = None,
-    pipelined: bool = False,
+    pipelined: bool | None = None,
     chunk_bytes: int = 128 * 1024,
 ):
     """Coroutine: hybrid irregular allgather.

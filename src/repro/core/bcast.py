@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.core.shared_buffer import SharedBuffer
 from repro.core.sync import SyncPolicy
+from repro.mpi.collectives.registry import CollRequest, policy_of, trace_event
 
 __all__ = ["hy_bcast"]
 
@@ -32,6 +33,14 @@ def hy_bcast(ctx, buf: SharedBuffer, root: int = 0,
     message from ``buf.node_view()``.
     """
     sync = sync or ctx.default_sync
+    policy = policy_of(ctx.comm)
+    algo = policy.select(
+        ctx.comm,
+        CollRequest(op="hy_bcast", nbytes=buf.total_nbytes,
+                    total=buf.total_nbytes, root=root),
+    )
+    trace_event(ctx.comm, "hy_bcast", algo.name, buf.total_nbytes,
+                policy.name)
     placement = ctx.comm.ctx.placement
     root_world = ctx.comm.world_rank_of(root)
     root_node = placement.node_of(root_world)

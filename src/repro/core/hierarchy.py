@@ -160,9 +160,13 @@ class HybridContext:
 
     # -- collective operations (delegates) --------------------------------------
     def allgather(self, buf: SharedBuffer, sync: SyncPolicy | None = None,
-                  pipelined: bool = False, chunk_bytes: int = 128 * 1024,
+                  pipelined: bool | None = None,
+                  chunk_bytes: int = 128 * 1024,
                   pack_datatypes: bool = False):
-        """Coroutine: hybrid allgather over *buf* (paper Fig 4)."""
+        """Coroutine: hybrid allgather over *buf* (paper Fig 4).
+
+        ``pipelined=True`` forces the chunked bridge exchange; ``None``
+        (default) lets the rank's selection policy pick the variant."""
         from repro.core.allgather import hy_allgather
 
         yield from hy_allgather(

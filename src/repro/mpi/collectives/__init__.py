@@ -1,55 +1,30 @@
-"""Collective dispatch: runtime algorithm selection (MPICH-style).
+"""Collective dispatch: registry-backed runtime algorithm selection.
 
 Each ``dispatch_*`` coroutine is the entry point :class:`repro.mpi.comm.Comm`
-calls.  It charges the per-call software overhead, consults the
-:class:`~repro.mpi.collectives.tuning.CollectiveTuning` personality, and
-runs the selected algorithm.  Selection inputs are communicator size,
-estimated total bytes, power-of-two-ness, and whether the communicator
-spans multiple nodes with multiple ranks per node (SMP-aware hierarchical
-path, the paper's pure-MPI baseline).
+calls.  It charges the per-call software overhead, builds a
+:class:`~repro.mpi.collectives.registry.CollRequest`, asks the rank's
+:class:`~repro.mpi.collectives.registry.SelectionPolicy` (default: the
+MPICH-style :class:`TableSelection` decision tables over the
+:class:`~repro.mpi.collectives.tuning.CollectiveTuning` personality) for
+an algorithm descriptor, and runs it.
 
-The chosen algorithm name is recorded in ``ctx.trace`` (when tracing is
-enabled) so tests can assert the decision table.
+Every dispatch records the decision — operation, algorithm, policy,
+bytes — in ``ctx.trace`` (when tracing is enabled) so tests can assert
+the decision table.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.mpi.collectives import hierarchical as hier
-from repro.mpi.collectives.allgather import (
-    allgather_bruck,
-    allgather_recursive_doubling,
-    allgather_ring,
+from repro.mpi.collectives import registry
+from repro.mpi.collectives.registry import (
+    CollRequest,
+    bridge_allgatherv as _bridge_allgatherv,
+    policy_of,
+    trace_event,
 )
-from repro.mpi.collectives.allgatherv import (
-    allgatherv_bruck,
-    allgatherv_ring,
-)
-from repro.mpi.collectives.alltoall import alltoall_bruck, alltoall_pairwise
-from repro.mpi.collectives.barrier import barrier_dissemination
-from repro.mpi.collectives.bcast import (
-    bcast_binomial,
-    bcast_pipeline,
-    bcast_scatter_allgather,
-)
-from repro.mpi.collectives.gather import (
-    gather_binomial,
-    gather_linear,
-    scatter_binomial,
-)
-from repro.mpi.collectives.reduce import (
-    allreduce_rabenseifner,
-    allreduce_recursive_doubling,
-    allreduce_ring,
-    reduce_binomial,
-    scan_linear,
-)
-from repro.mpi.collectives.reduce_scatter import (
-    reduce_scatter_halving,
-    reduce_scatter_pairwise,
-)
-from repro.mpi.collectives.scan_ops import exscan_binomial, scan_binomial
+from repro.mpi.collectives.barrier import barrier_shm_flags as _shm_barrier
 from repro.mpi.constants import ReduceOp
 from repro.mpi.datatypes import nbytes_of
 
@@ -66,11 +41,11 @@ __all__ = [
     "dispatch_allreduce",
     "dispatch_scan",
     "dispatch_scatter",
+    "registry",
 ]
 
-
-def _is_pof2(n: int) -> bool:
-    return n & (n - 1) == 0
+# Back-compat alias: structural predicate now lives in the registry.
+_spans_hierarchy = registry.spans_hierarchy
 
 
 def _overhead(comm):
@@ -86,51 +61,17 @@ def _vector_overhead(comm, blocks: int):
         yield comm.ctx.engine.timeout(cost)
 
 
-def _spans_hierarchy(comm) -> bool:
-    """True when the communicator covers >1 node and some node hosts >1
-    of its ranks — the regime where SMP-aware algorithms apply."""
-    placement = comm.ctx.placement
-    nodes: dict[int, int] = {}
-    for w in comm.group.world_ranks():
-        n = placement.node_of(w)
-        nodes[n] = nodes.get(n, 0) + 1
-    return len(nodes) > 1 and any(c > 1 for c in nodes.values())
-
-
-def _trace(comm, op: str, algo: str, nbytes: int) -> None:
-    tracer = comm.ctx.trace
-    if tracer is not None:
-        tracer.append(
-            {
-                "t": comm.ctx.engine.now,
-                "rank": comm.ctx.world_rank,
-                "comm": comm.name,
-                "op": op,
-                "algo": algo,
-                "nbytes": nbytes,
-            }
-        )
+def _select(comm, req: CollRequest):
+    """Pick the algorithm for *req* and record the decision."""
+    policy = policy_of(comm)
+    algo = policy.select(comm, req)
+    trace_event(comm, req.op, algo.name, req.total, policy.name)
+    return algo
 
 
 # ---------------------------------------------------------------------------
 # allgather family
 # ---------------------------------------------------------------------------
-
-def _select_flat_allgather(comm, total: int):
-    tuning = comm.ctx.tuning
-    if _is_pof2(comm.size) and total <= tuning.allgather_rd_max_total:
-        return "recursive_doubling", allgather_recursive_doubling
-    if total <= tuning.allgather_bruck_max_total:
-        return "bruck", allgather_bruck
-    return "ring", allgather_ring
-
-
-def _select_flat_allgatherv(comm, total: int):
-    tuning = comm.ctx.tuning
-    if total <= tuning.allgatherv_bruck_max_total:
-        return "bruck_v", allgatherv_bruck
-    return "ring_v", allgatherv_ring
-
 
 def dispatch_allgather(comm, payload: Any, tag: int):
     """Regular allgather; returns the per-rank payload list."""
@@ -138,33 +79,12 @@ def dispatch_allgather(comm, payload: Any, tag: int):
     if comm.size == 1:
         return [payload]
     total = nbytes_of(payload) * comm.size
-    if comm.ctx.tuning.smp_aware and _spans_hierarchy(comm):
-        _trace(comm, "allgather", "smp_hierarchical", total)
-
-        def bridge_xchg(bridge, node_blocks, btag):
-            # Node aggregates have equal size only for regular ppn; the
-            # v-variant is required in general (paper §4.1).
-            result = yield from _bridge_allgatherv(
-                bridge, node_blocks, btag, total
-            )
-            return result
-
-        full = yield from hier.hier_allgather(
-            comm, payload, tag, bridge_xchg, total_nbytes=total
-        )
-        return full.as_list(comm.size)
-    name, algo = _select_flat_allgather(comm, total)
-    _trace(comm, "allgather", name, total)
-    result = yield from algo(comm, payload, tag)
+    algo = _select(
+        comm, CollRequest(op="allgather", nbytes=nbytes_of(payload),
+                          total=total)
+    )
+    result = yield from algo.fn(comm, payload, tag, total)
     return result.as_list(comm.size)
-
-
-def _bridge_allgatherv(bridge, node_blocks, tag, total: int):
-    """Inter-leader exchange used inside hierarchical allgather."""
-    name, algo = _select_flat_allgatherv(bridge, total)
-    yield from _vector_overhead(bridge, bridge.size)
-    result = yield from algo(bridge, node_blocks, tag)
-    return result
 
 
 def _agree_total(comm, nbytes: int, tag: int):
@@ -182,50 +102,31 @@ def _agree_total(comm, nbytes: int, tag: int):
     return results[comm.rank]
 
 
-def dispatch_allgatherv(comm, payload: Any, tag: int):
-    """Irregular allgather; returns the per-rank payload list."""
+def dispatch_allgatherv(comm, payload: Any, tag: int,
+                        total: int | None = None):
+    """Irregular allgather; returns the per-rank payload list.
+
+    *total* is the agreed full result size; when None (direct callers)
+    the size-agreement gate runs here.  :meth:`Comm.allgatherv` runs the
+    gate itself so the profiler can charge the actual summed bytes, and
+    passes the result through."""
     yield from _overhead(comm)
     yield from _vector_overhead(comm, comm.size)
     if comm.size == 1:
         return [payload]
-    total = yield from _agree_total(comm, nbytes_of(payload), tag)
-    if comm.ctx.tuning.smp_aware and _spans_hierarchy(comm):
-        _trace(comm, "allgatherv", "smp_hierarchical", total)
-
-        def bridge_xchg(bridge, node_blocks, btag):
-            result = yield from _bridge_allgatherv(
-                bridge, node_blocks, btag, total
-            )
-            return result
-
-        full = yield from hier.hier_allgather(
-            comm, payload, tag, bridge_xchg, total_nbytes=total
-        )
-        return full.as_list(comm.size)
-    name, algo = _select_flat_allgatherv(comm, total)
-    _trace(comm, "allgatherv", name, total)
-    result = yield from algo(comm, payload, tag)
+    if total is None:
+        total = yield from _agree_total(comm, nbytes_of(payload), tag)
+    algo = _select(
+        comm, CollRequest(op="allgatherv", nbytes=nbytes_of(payload),
+                          total=total)
+    )
+    result = yield from algo.fn(comm, payload, tag, total)
     return result.as_list(comm.size)
 
 
 # ---------------------------------------------------------------------------
 # bcast
 # ---------------------------------------------------------------------------
-
-def _select_flat_bcast(comm, nbytes: int):
-    tuning = comm.ctx.tuning
-    if nbytes <= tuning.bcast_binomial_max or comm.size <= 2:
-        return "binomial", bcast_binomial
-    if nbytes > 8 * tuning.bcast_pipeline_chunk and comm.size >= 8:
-        def piped(c, p, root, t):
-            result = yield from bcast_pipeline(
-                c, p, root, t, tuning.bcast_pipeline_chunk
-            )
-            return result
-
-        return "pipeline", piped
-    return "scatter_allgather", bcast_scatter_allgather
-
 
 def dispatch_bcast(comm, payload: Any, root: int, tag: int):
     """Broadcast; returns the payload on every rank.
@@ -241,19 +142,10 @@ def dispatch_bcast(comm, payload: Any, root: int, tag: int):
         return payload
     nbytes = nbytes_of(payload)
     recvbuf = payload if comm.rank != root else None
-    if comm.ctx.tuning.smp_aware and _spans_hierarchy(comm):
-        _trace(comm, "bcast", "smp_hierarchical", nbytes)
-
-        def bridge_bc(bridge, p, broot, btag):
-            bname, balgo = _select_flat_bcast(bridge, nbytes)
-            result = yield from balgo(bridge, p, broot, btag)
-            return result
-
-        result = yield from hier.hier_bcast(comm, payload, root, tag, bridge_bc)
-        return _deliver_bcast(recvbuf, result)
-    name, algo = _select_flat_bcast(comm, nbytes)
-    _trace(comm, "bcast", name, nbytes)
-    result = yield from algo(comm, payload, root, tag)
+    algo = _select(
+        comm, CollRequest(op="bcast", nbytes=nbytes, total=nbytes, root=root)
+    )
+    result = yield from algo.fn(comm, payload, root, tag)
     return _deliver_bcast(recvbuf, result)
 
 
@@ -283,12 +175,11 @@ def dispatch_gather(comm, payload: Any, root: int, tag: int,
     if comm.size == 1:
         return [payload]
     nbytes = nbytes_of(payload)
-    if nbytes > comm.ctx.tuning.bcast_binomial_max * 4:
-        name, algo = "linear", gather_linear
-    else:
-        name, algo = "binomial", gather_binomial
-    _trace(comm, "gatherv" if irregular else "gather", name, nbytes)
-    result = yield from algo(comm, payload, root, tag)
+    algo = _select(
+        comm, CollRequest(op="gatherv" if irregular else "gather",
+                          nbytes=nbytes, total=nbytes, root=root)
+    )
+    result = yield from algo.fn(comm, payload, root, tag)
     if result is None:
         return None
     return result.as_list(comm.size)
@@ -301,8 +192,12 @@ def dispatch_scatter(comm, payloads: list[Any] | None, root: int, tag: int):
         if payloads is None or len(payloads) != 1:
             raise ValueError("root must supply one payload per rank")
         return payloads[0]
-    _trace(comm, "scatter", "binomial", 0)
-    result = yield from scatter_binomial(comm, payloads, root, tag)
+    # Selection must be rank-uniform and only the root holds the payload
+    # list, so the request is size-independent (as in the old table).
+    algo = _select(
+        comm, CollRequest(op="scatter", nbytes=0, total=0, root=root)
+    )
+    result = yield from algo.fn(comm, payloads, root, tag)
     return result
 
 
@@ -316,12 +211,10 @@ def dispatch_reduce(comm, payload: Any, op: ReduceOp, root: int, tag: int):
     if comm.size == 1:
         return payload
     nbytes = nbytes_of(payload)
-    if comm.ctx.tuning.smp_aware and _spans_hierarchy(comm):
-        _trace(comm, "reduce", "smp_hierarchical", nbytes)
-        result = yield from hier.hier_reduce(comm, payload, op, root, tag)
-        return result
-    _trace(comm, "reduce", "binomial", nbytes)
-    result = yield from reduce_binomial(comm, payload, op, root, tag)
+    algo = _select(
+        comm, CollRequest(op="reduce", nbytes=nbytes, total=nbytes, root=root)
+    )
+    result = yield from algo.fn(comm, payload, op, root, tag)
     return result
 
 
@@ -331,28 +224,10 @@ def dispatch_allreduce(comm, payload: Any, op: ReduceOp, tag: int):
     if comm.size == 1:
         return payload
     nbytes = nbytes_of(payload)
-    tuning = comm.ctx.tuning
-
-    def flat(c, p, o, t):
-        if nbytes <= tuning.allreduce_rd_max:
-            result = yield from allreduce_recursive_doubling(c, p, o, t)
-        elif _is_pof2(c.size):
-            result = yield from allreduce_rabenseifner(c, p, o, t)
-        else:
-            result = yield from allreduce_ring(c, p, o, t)
-        return result
-
-    if tuning.smp_aware and _spans_hierarchy(comm):
-        _trace(comm, "allreduce", "smp_hierarchical", nbytes)
-        result = yield from hier.hier_allreduce(comm, payload, op, tag, flat)
-        return result
-    name = (
-        "recursive_doubling"
-        if nbytes <= tuning.allreduce_rd_max
-        else ("rabenseifner" if _is_pof2(comm.size) else "ring")
+    algo = _select(
+        comm, CollRequest(op="allreduce", nbytes=nbytes, total=nbytes)
     )
-    _trace(comm, "allreduce", name, nbytes)
-    result = yield from flat(comm, payload, op, tag)
+    result = yield from algo.fn(comm, payload, op, tag)
     return result
 
 
@@ -362,12 +237,11 @@ def dispatch_scan(comm, payload: Any, op: ReduceOp, tag: int):
     yield from _overhead(comm)
     if comm.size == 1:
         return payload
-    if comm.size <= 4:
-        _trace(comm, "scan", "linear", nbytes_of(payload))
-        result = yield from scan_linear(comm, payload, op, tag)
-        return result
-    _trace(comm, "scan", "binomial", nbytes_of(payload))
-    result = yield from scan_binomial(comm, payload, op, tag)
+    nbytes = nbytes_of(payload)
+    algo = _select(
+        comm, CollRequest(op="scan", nbytes=nbytes, total=nbytes)
+    )
+    result = yield from algo.fn(comm, payload, op, tag)
     return result
 
 
@@ -376,8 +250,11 @@ def dispatch_exscan(comm, payload: Any, op: ReduceOp, tag: int):
     yield from _overhead(comm)
     if comm.size == 1:
         return None
-    _trace(comm, "exscan", "binomial", nbytes_of(payload))
-    result = yield from exscan_binomial(comm, payload, op, tag)
+    nbytes = nbytes_of(payload)
+    algo = _select(
+        comm, CollRequest(op="exscan", nbytes=nbytes, total=nbytes)
+    )
+    result = yield from algo.fn(comm, payload, op, tag)
     return result
 
 
@@ -387,12 +264,10 @@ def dispatch_reduce_scatter(comm, payload: Any, op: ReduceOp, tag: int):
     if comm.size == 1:
         return payload
     nbytes = nbytes_of(payload)
-    if _is_pof2(comm.size) and nbytes > 4096:
-        _trace(comm, "reduce_scatter", "recursive_halving", nbytes)
-        result = yield from reduce_scatter_halving(comm, payload, op, tag)
-        return result
-    _trace(comm, "reduce_scatter", "pairwise", nbytes)
-    result = yield from reduce_scatter_pairwise(comm, payload, op, tag)
+    algo = _select(
+        comm, CollRequest(op="reduce_scatter", nbytes=nbytes, total=nbytes)
+    )
+    result = yield from algo.fn(comm, payload, op, tag)
     return result
 
 
@@ -400,62 +275,14 @@ def dispatch_reduce_scatter(comm, payload: Any, op: ReduceOp, tag: int):
 # barrier / alltoall
 # ---------------------------------------------------------------------------
 
-def _nodes_of(comm) -> set:
-    placement = comm.ctx.placement
-    return {placement.node_of(w) for w in comm.group.world_ranks()}
-
-
-def _shm_barrier(comm, tag: int, rounds_cost: float | None = None,
-                 phase: str = "arrive"):
-    """Coroutine: optimized single-node barrier (shared flags).
-
-    Real MPI libraries implement on-node barriers with shared-memory
-    flag trees, not message passing.  Modelled as a zero-time rendezvous
-    (everyone leaves together at the last arrival) plus the flag-tree
-    cost.  ``rounds_cost`` overrides the charged time (used for the
-    cheap release phase of the hierarchical barrier).  The rendezvous is
-    keyed by the collective's issue-time *tag*, so concurrent
-    non-blocking barriers cannot cross-match."""
-    import math
-
-    tuning = comm.ctx.tuning
-    if rounds_cost is None:
-        rounds = max(1, math.ceil(math.log2(max(comm.size, 2))))
-        rounds_cost = tuning.shm_barrier_base + rounds * tuning.shm_barrier_flag
-    yield comm._shared.arrive(
-        ("shm_barrier", phase, tag), comm.rank, None,
-        lambda values: dict.fromkeys(values),
-    )
-    yield comm.ctx.engine.timeout(rounds_cost)
-
-
 def dispatch_barrier(comm, tag: int):
     """Barrier: shm-flag tree on one node, hierarchical across nodes,
-    dissemination otherwise."""
+    dissemination otherwise.  (The flat dissemination runner charges the
+    per-call software overhead; the shm paths model cheaper entry.)"""
     if comm.size == 1:
         return
-    tuning = comm.ctx.tuning
-    if len(_nodes_of(comm)) == 1:
-        _trace(comm, "barrier", "shm_flags", 0)
-        yield from _shm_barrier(comm, tag)
-        return
-    if tuning.smp_aware and _spans_hierarchy(comm):
-        _trace(comm, "barrier", "smp_hierarchical", 0)
-        shm, bridge = yield from hier.hier_comms(comm)
-        if shm.size > 1:
-            yield from _shm_barrier(shm, tag)
-        if bridge is not None and bridge.size > 1:
-            yield from barrier_dissemination(bridge, tag)
-        if shm.size > 1:
-            # Release phase: one flag store observed by each child.
-            yield from _shm_barrier(
-                shm, tag, rounds_cost=tuning.shm_barrier_flag,
-                phase="release",
-            )
-        return
-    yield from _overhead(comm)
-    _trace(comm, "barrier", "dissemination", 0)
-    yield from barrier_dissemination(comm, tag)
+    algo = _select(comm, CollRequest(op="barrier", nbytes=0, total=0))
+    yield from algo.fn(comm, tag)
 
 
 def dispatch_alltoall(comm, payloads: list[Any], tag: int):
@@ -464,11 +291,8 @@ def dispatch_alltoall(comm, payloads: list[Any], tag: int):
     if comm.size == 1:
         return [payloads[0]]
     per_pair = max(nbytes_of(p) for p in payloads)
-    tuning = comm.ctx.tuning
-    if per_pair <= tuning.alltoall_bruck_max:
-        name, algo = "bruck", alltoall_bruck
-    else:
-        name, algo = "pairwise", alltoall_pairwise
-    _trace(comm, "alltoall", name, per_pair)
-    result = yield from algo(comm, payloads, tag)
+    algo = _select(
+        comm, CollRequest(op="alltoall", nbytes=per_pair, total=per_pair)
+    )
+    result = yield from algo.fn(comm, payloads, tag)
     return result

@@ -1,19 +1,25 @@
-"""Barrier: dissemination algorithm (Hensgen/Finkel/Manber).
+"""Barrier algorithms: dissemination and shared-memory flag tree.
 
-``ceil(log2 p)`` rounds; in round k each rank sends a zero-byte token to
-``(rank + 2^k) mod p`` and waits for one from ``(rank - 2^k) mod p``.
-This is the paper's *heavy-weight* on-node synchronization primitive
-(§6): its cost over a shared-memory communicator is a handful of on-node
-latency hops, independent of message size — which is why Hy_Allgather is
-flat in Fig 7.
+Dissemination (Hensgen/Finkel/Manber): ``ceil(log2 p)`` rounds; in round
+k each rank sends a zero-byte token to ``(rank + 2^k) mod p`` and waits
+for one from ``(rank - 2^k) mod p``.  This is the paper's *heavy-weight*
+on-node synchronization primitive (§6): its cost over a shared-memory
+communicator is a handful of on-node latency hops, independent of
+message size — which is why Hy_Allgather is flat in Fig 7.
+
+The shm flag barrier models the optimized on-node barrier real MPI
+libraries implement with shared-memory flag trees rather than message
+passing.
 """
 
 from __future__ import annotations
 
+import math
+
 from repro.mpi.datatypes import Bytes
 from repro.simulator import AllOf
 
-__all__ = ["barrier_dissemination"]
+__all__ = ["barrier_dissemination", "barrier_shm_flags"]
 
 
 def barrier_dissemination(comm, tag: int):
@@ -30,3 +36,25 @@ def barrier_dissemination(comm, tag: int):
         sreq = comm.isend(token, to, tag=tag)
         yield AllOf([rreq.event, sreq.event])
         distance <<= 1
+
+
+def barrier_shm_flags(comm, tag: int, rounds_cost: float | None = None,
+                      phase: str = "arrive"):
+    """Coroutine: optimized single-node barrier (shared flags).
+
+    Real MPI libraries implement on-node barriers with shared-memory
+    flag trees, not message passing.  Modelled as a zero-time rendezvous
+    (everyone leaves together at the last arrival) plus the flag-tree
+    cost.  ``rounds_cost`` overrides the charged time (used for the
+    cheap release phase of the hierarchical barrier).  The rendezvous is
+    keyed by the collective's issue-time *tag*, so concurrent
+    non-blocking barriers cannot cross-match."""
+    tuning = comm.ctx.tuning
+    if rounds_cost is None:
+        rounds = max(1, math.ceil(math.log2(max(comm.size, 2))))
+        rounds_cost = tuning.shm_barrier_base + rounds * tuning.shm_barrier_flag
+    yield comm._shared.arrive(
+        ("shm_barrier", phase, tag), comm.rank, None,
+        lambda values: dict.fromkeys(values),
+    )
+    yield comm.ctx.engine.timeout(rounds_cost)

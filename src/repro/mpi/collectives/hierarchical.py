@@ -76,16 +76,19 @@ def _select_shm_bcast(shm, nbytes: int):
     Real SMP-aware collectives switch algorithms for the fan-out stage
     just as for top-level broadcasts; without this the baseline would
     move n*log(ppn) bytes through node memory for large results and the
-    comparison against the hybrid approach would be a strawman."""
-    from repro.mpi.collectives.bcast import (
-        bcast_binomial,
-        bcast_scatter_allgather,
-    )
+    comparison against the hybrid approach would be a strawman.
 
-    tuning = shm.ctx.tuning
-    if nbytes <= tuning.bcast_binomial_max or shm.size <= 2:
-        return bcast_binomial
-    return bcast_scatter_allgather
+    Routed through the rank's selection policy over the registry, with
+    the candidate set restricted to the stage-appropriate algorithms
+    (no pipelining across shared memory).  Imported lazily: the registry
+    imports this module at load time."""
+    from repro.mpi.collectives.registry import CollRequest, policy_of
+
+    req = CollRequest(op="bcast", nbytes=nbytes, total=nbytes, root=0)
+    algo = policy_of(shm).select(
+        shm, req, candidates=("binomial", "scatter_allgather")
+    )
+    return algo.fn
 
 
 def hier_allgather(comm, payload: Any, tag: int, select_bridge,

@@ -1,0 +1,1058 @@
+"""Collective-algorithm registry and pluggable selection policies.
+
+Real MPI libraries treat algorithm selection as a first-class, swappable
+layer: MPICH ships the Thakur et al. decision tables, Open MPI's "tuned"
+component exposes forced-algorithm MCA parameters, and both let a cost
+model override the static tables.  This module gives the simulated
+runtime the same structure:
+
+* every algorithm — flat, hierarchical, multi-leader, and the hybrid
+  shared-window exchanges — registers an :class:`Algorithm` descriptor
+  (operation, name, applicability predicate, α-β cost estimator);
+* a :class:`SelectionPolicy` decides, per call, which registered
+  descriptor runs.  Three implementations are provided:
+
+  - :class:`TableSelection` — the MPICH-style decision tables driven by
+    :class:`~repro.mpi.collectives.tuning.CollectiveTuning` thresholds
+    (the behavior-preserving default);
+  - :class:`CostModelSelection` — picks the applicable candidate with
+    the lowest α-β cost estimate for the current communicator/machine;
+  - :class:`ForcedSelection` — per-operation overrides (from config or
+    ``REPRO_COLL_<OP>`` environment variables), falling back to a base
+    policy for unlisted operations and inapplicable forces.
+
+The policy travels on the rank context (``ctx.policy``, threaded through
+:class:`~repro.mpi.runtime.MPIJob`); the ``dispatch_*`` entry points in
+:mod:`repro.mpi.collectives` consult it for every call and record the
+decision — operation, algorithm, policy, bytes — in the job trace.
+
+Descriptor calling conventions (per operation)
+----------------------------------------------
+
+``Algorithm.fn`` is a generator coroutine with the operation's native
+signature:
+
+==================  ====================================================
+op                  ``fn`` signature
+==================  ====================================================
+allgather(v)        ``fn(comm, payload, tag, total)`` → BlockSet
+bcast               ``fn(comm, payload, root, tag)`` → payload
+gather(v)           ``fn(comm, payload, root, tag)`` → BlockSet | None
+scatter             ``fn(comm, payloads, root, tag)`` → payload
+reduce              ``fn(comm, payload, op, root, tag)``
+allreduce &c.       ``fn(comm, payload, op, tag)``
+alltoall            ``fn(comm, payloads, tag)`` → list
+barrier             ``fn(comm, tag)``
+hy_*                not runnable here — executed by ``repro.core``
+==================  ====================================================
+
+Cost estimators are *estimates*: simple Hockney (α-β) critical-path
+formulas over the communicator's dominant transport.  They exist to
+rank candidates, not to predict the simulator's exact charge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.mpi.collectives import hierarchical as hier
+from repro.mpi.collectives.allgather import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+)
+from repro.mpi.collectives.allgatherv import (
+    allgatherv_bruck,
+    allgatherv_gather_bcast,
+    allgatherv_ring,
+)
+from repro.mpi.collectives.alltoall import alltoall_bruck, alltoall_pairwise
+from repro.mpi.collectives.barrier import (
+    barrier_dissemination,
+    barrier_shm_flags,
+)
+from repro.mpi.collectives.bcast import (
+    bcast_binomial,
+    bcast_pipeline,
+    bcast_scatter_allgather,
+)
+from repro.mpi.collectives.gather import (
+    gather_binomial,
+    gather_linear,
+    scatter_binomial,
+    scatter_linear,
+)
+from repro.mpi.collectives.reduce import (
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    reduce_binomial,
+    scan_linear,
+)
+from repro.mpi.collectives.reduce_scatter import (
+    reduce_scatter_halving,
+    reduce_scatter_pairwise,
+)
+from repro.mpi.collectives.scan_ops import exscan_binomial, scan_binomial
+from repro.mpi.datatypes import nbytes_of
+from repro.mpi.errors import MPIError
+
+__all__ = [
+    "CollRequest",
+    "Algorithm",
+    "register",
+    "algorithms_for",
+    "get_algorithm",
+    "ops",
+    "spans_hierarchy",
+    "comm_shape",
+    "SelectionPolicy",
+    "TableSelection",
+    "CostModelSelection",
+    "ForcedSelection",
+    "resolve_policy",
+    "policy_of",
+    "trace_event",
+    "bridge_allgatherv",
+    "ENV_POLICY",
+    "ENV_OP_PREFIX",
+]
+
+ENV_POLICY = "REPRO_COLL_POLICY"
+ENV_OP_PREFIX = "REPRO_COLL_"
+
+
+# ---------------------------------------------------------------------------
+# Requests and descriptors
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CollRequest:
+    """Per-call selection inputs.
+
+    Attributes
+    ----------
+    op:
+        Operation name (``"allgather"``, ``"bcast"``, …).
+    nbytes:
+        Per-rank message bytes (the rooted/vector message size).
+    total:
+        Total result bytes — for the allgather family this is the full
+        receive-buffer size (the MPICH threshold convention); for other
+        operations it equals ``nbytes``.
+    root:
+        Root rank for rooted collectives, else None.
+    """
+
+    op: str
+    nbytes: int
+    total: int
+    root: int | None = None
+
+
+@dataclass(frozen=True)
+class Algorithm:
+    """One registered collective algorithm.
+
+    ``applicable(comm, req)`` is a *structural* predicate (communicator
+    shape, power-of-two-ness) — policy preferences such as
+    ``tuning.smp_aware`` belong to the policies, not to the descriptor.
+    """
+
+    op: str
+    name: str
+    fn: Callable[..., Any]
+    applicable: Callable[[Any, CollRequest], bool]
+    cost: Callable[[Any, CollRequest], float]
+    kind: str = "flat"  # "flat" | "hierarchical" | "hybrid"
+
+    def __repr__(self) -> str:
+        return f"<Algorithm {self.op}:{self.name} [{self.kind}]>"
+
+
+_REGISTRY: dict[str, dict[str, Algorithm]] = {}
+
+
+def register(algorithm: Algorithm) -> Algorithm:
+    """Add *algorithm* to the registry (op+name must be unique)."""
+    by_name = _REGISTRY.setdefault(algorithm.op, {})
+    if algorithm.name in by_name:
+        raise ValueError(
+            f"algorithm {algorithm.name!r} already registered for "
+            f"op {algorithm.op!r}"
+        )
+    by_name[algorithm.name] = algorithm
+    return algorithm
+
+
+def algorithms_for(op: str) -> list[Algorithm]:
+    """All registered algorithms of *op*, in registration order."""
+    return list(_REGISTRY.get(op, {}).values())
+
+
+def get_algorithm(op: str, name: str) -> Algorithm:
+    """Descriptor by (op, name); raises KeyError listing known names."""
+    by_name = _REGISTRY.get(op)
+    if by_name is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown collective op {op!r}; known: {known}")
+    try:
+        return by_name[name]
+    except KeyError:
+        known = ", ".join(sorted(by_name))
+        raise KeyError(
+            f"unknown algorithm {name!r} for op {op!r}; known: {known}"
+        ) from None
+
+
+def ops() -> list[str]:
+    """All operations with registered algorithms."""
+    return list(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Communicator shape (cached — selection runs on every collective call)
+# ---------------------------------------------------------------------------
+
+def comm_shape(comm) -> tuple[int, int]:
+    """``(num_nodes, max_ranks_per_node)`` of *comm* (cached per rank)."""
+    cache = comm.hier_cache
+    shape = cache.get("_shape")
+    if shape is None:
+        placement = comm.ctx.placement
+        per_node: dict[int, int] = {}
+        for w in comm.group.world_ranks():
+            n = placement.node_of(w)
+            per_node[n] = per_node.get(n, 0) + 1
+        shape = cache["_shape"] = (
+            len(per_node), max(per_node.values(), default=1)
+        )
+    return shape
+
+
+def spans_hierarchy(comm) -> bool:
+    """True when *comm* covers >1 node and some node hosts >1 of its
+    ranks — the regime where SMP-aware algorithms apply."""
+    nodes, max_ppn = comm_shape(comm)
+    return nodes > 1 and max_ppn > 1
+
+
+def _single_node(comm) -> bool:
+    return comm_shape(comm)[0] == 1
+
+
+def _is_pof2(n: int) -> bool:
+    return n & (n - 1) == 0
+
+
+def _log2p(p: int) -> int:
+    return max(1, math.ceil(math.log2(max(p, 2))))
+
+
+# ---------------------------------------------------------------------------
+# α-β cost estimation
+# ---------------------------------------------------------------------------
+
+def _perf(comm) -> tuple[float, float]:
+    """Dominant (α, β) of *comm*: network terms when it spans nodes,
+    shared-memory terms (copy-in/copy-out doubles the traffic) inside
+    one node."""
+    spec = comm.ctx.machine.spec
+    if _single_node(comm):
+        node = spec.node
+        return node.shm_latency, 2.0 * node.mem_streams / node.mem_bandwidth
+    net = spec.network
+    return net.alpha, 1.0 / net.bandwidth
+
+
+def _shm_perf(comm) -> tuple[float, float]:
+    node = comm.ctx.machine.spec.node
+    return node.shm_latency, 2.0 * node.mem_streams / node.mem_bandwidth
+
+
+def _net_perf(comm) -> tuple[float, float]:
+    net = comm.ctx.machine.spec.network
+    return net.alpha, 1.0 / net.bandwidth
+
+
+def _cost_hier_stages(comm, total: float, fanout_bytes: float) -> float:
+    """Shared cost skeleton of the leader-based hierarchical patterns:
+    on-node funnel + inter-leader ring exchange + on-node fan-out."""
+    nodes, ppn = comm_shape(comm)
+    a_s, b_s = _shm_perf(comm)
+    a_n, b_n = _net_perf(comm)
+    node_bytes = total / max(nodes, 1)
+    funnel = _log2p(ppn) * a_s + node_bytes * b_s
+    bridge = (nodes - 1) * (a_n + node_bytes * b_n)
+    fan = _log2p(ppn) * a_s + fanout_bytes * b_s
+    return funnel + bridge + fan
+
+
+# ---------------------------------------------------------------------------
+# Selection policies
+# ---------------------------------------------------------------------------
+
+class SelectionPolicy:
+    """Chooses one registered algorithm per collective call.
+
+    ``select`` filters the registry down to structurally-applicable
+    candidates (optionally restricted to an explicit *candidates* name
+    set — used by composite algorithms for their internal stages) and
+    delegates the choice to :meth:`choose`.
+    """
+
+    name = "base"
+
+    def select(self, comm, req: CollRequest,
+               candidates: Iterable[str] | None = None) -> Algorithm:
+        allowed = None if candidates is None else set(candidates)
+        cands = [
+            d for d in algorithms_for(req.op)
+            if (allowed is None or d.name in allowed)
+            and d.applicable(comm, req)
+        ]
+        if not cands:
+            raise MPIError(
+                f"no applicable algorithm for op {req.op!r} on "
+                f"{comm.name!r} (size {comm.size})"
+            )
+        return self.choose(comm, req, cands)
+
+    def choose(self, comm, req: CollRequest,
+               cands: list[Algorithm]) -> Algorithm:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human description (shown by the bench CLI)."""
+        return self.name
+
+
+class TableSelection(SelectionPolicy):
+    """MPICH-style decision tables driven by ``comm.ctx.tuning``.
+
+    This reproduces the pre-registry hardcoded selection logic exactly:
+    the thresholds come from the :class:`CollectiveTuning` personality,
+    hierarchical variants are preferred when ``tuning.smp_aware`` and
+    the communicator spans several multi-rank nodes.
+    """
+
+    name = "table"
+
+    def choose(self, comm, req, cands):
+        prefs = self._prefs(comm, req)
+        by_name = {d.name: d for d in cands}
+        for name in prefs:
+            if name in by_name:
+                return by_name[name]
+        return cands[0]
+
+    def _prefs(self, comm, req: CollRequest) -> list[str]:
+        """Ordered algorithm preference for this call."""
+        tuning = comm.ctx.tuning
+        smp = tuning.smp_aware and spans_hierarchy(comm)
+        table = getattr(self, f"_{req.op}", None)
+        if table is None:
+            return []
+        return table(comm, req, tuning, smp)
+
+    # -- per-op tables (mirroring the historical _select_* helpers) --------
+    def _allgather(self, comm, req, tuning, smp):
+        if smp:
+            return ["smp_hierarchical"]
+        if _is_pof2(comm.size) and req.total <= tuning.allgather_rd_max_total:
+            return ["recursive_doubling"]
+        if req.total <= tuning.allgather_bruck_max_total:
+            return ["bruck"]
+        return ["ring"]
+
+    def _allgatherv(self, comm, req, tuning, smp):
+        if smp:
+            return ["smp_hierarchical"]
+        # Never recursive doubling — the structural penalty of [29].
+        if req.total <= tuning.allgatherv_bruck_max_total:
+            return ["bruck_v"]
+        return ["ring_v"]
+
+    def _bcast(self, comm, req, tuning, smp):
+        if smp:
+            return ["smp_hierarchical"]
+        if req.nbytes <= tuning.bcast_binomial_max or comm.size <= 2:
+            return ["binomial"]
+        if (req.nbytes > 8 * tuning.bcast_pipeline_chunk
+                and comm.size >= 8):
+            return ["pipeline", "scatter_allgather"]
+        return ["scatter_allgather"]
+
+    def _gather(self, comm, req, tuning, smp):
+        if req.nbytes > tuning.bcast_binomial_max * 4:
+            return ["linear"]
+        return ["binomial"]
+
+    _gatherv = _gather
+
+    def _scatter(self, comm, req, tuning, smp):
+        return ["binomial"]
+
+    def _reduce(self, comm, req, tuning, smp):
+        if smp:
+            return ["smp_hierarchical"]
+        return ["binomial"]
+
+    def _allreduce(self, comm, req, tuning, smp):
+        if smp:
+            return ["smp_hierarchical"]
+        if req.nbytes <= tuning.allreduce_rd_max:
+            return ["recursive_doubling"]
+        if _is_pof2(comm.size):
+            return ["rabenseifner"]
+        return ["ring"]
+
+    def _reduce_scatter(self, comm, req, tuning, smp):
+        if (_is_pof2(comm.size)
+                and req.nbytes > tuning.reduce_scatter_halving_min):
+            return ["recursive_halving"]
+        return ["pairwise"]
+
+    def _scan(self, comm, req, tuning, smp):
+        if comm.size <= tuning.scan_linear_max_ranks:
+            return ["linear"]
+        return ["binomial"]
+
+    def _exscan(self, comm, req, tuning, smp):
+        return ["binomial"]
+
+    def _alltoall(self, comm, req, tuning, smp):
+        if req.nbytes <= tuning.alltoall_bruck_max:
+            return ["bruck"]
+        return ["pairwise"]
+
+    def _barrier(self, comm, req, tuning, smp):
+        if _single_node(comm):
+            return ["shm_flags"]
+        if smp:
+            return ["smp_hierarchical"]
+        return ["dissemination"]
+
+    def _hy_allgather(self, comm, req, tuning, smp):
+        return ["shared_window"]
+
+    def _hy_bcast(self, comm, req, tuning, smp):
+        return ["shared_window"]
+
+
+class CostModelSelection(SelectionPolicy):
+    """Pick the applicable candidate with the lowest α-β cost estimate.
+
+    Deterministic: ties break toward earlier registration order."""
+
+    name = "cost_model"
+
+    def choose(self, comm, req, cands):
+        return min(cands, key=lambda d: d.cost(comm, req))
+
+
+class ForcedSelection(SelectionPolicy):
+    """Per-operation algorithm overrides (Open MPI's forced-algorithm
+    MCA parameters, ``REPRO_COLL_<OP>`` in this runtime).
+
+    Overrides map op → algorithm name.  Operations without an override
+    — or calls where the forced algorithm is structurally inapplicable
+    (e.g. a hierarchical variant on a single-node communicator, or a
+    stage whose candidate set excludes it) — fall back to *base*.
+    """
+
+    name = "forced"
+
+    def __init__(self, overrides: Mapping[str, str],
+                 base: SelectionPolicy | None = None):
+        self.base = base or TableSelection()
+        self.overrides = dict(overrides)
+        for op, algo_name in self.overrides.items():
+            get_algorithm(op, algo_name)  # raises on typos, eagerly
+
+    def choose(self, comm, req, cands):
+        forced = self.overrides.get(req.op)
+        if forced is not None:
+            for d in cands:
+                if d.name == forced:
+                    return d
+        return self.base.choose(comm, req, cands)
+
+    def describe(self) -> str:
+        forced = ", ".join(f"{op}={name}" for op, name
+                           in sorted(self.overrides.items()))
+        return f"forced({forced}) over {self.base.describe()}"
+
+
+#: Fallback policy for contexts that carry none.
+DEFAULT_POLICY = TableSelection()
+
+_POLICY_NAMES: dict[str, Callable[[], SelectionPolicy]] = {
+    "table": TableSelection,
+    "cost_model": CostModelSelection,
+    "costmodel": CostModelSelection,
+}
+
+
+def resolve_policy(policy: SelectionPolicy | str | None,
+                   env: Mapping[str, str] | None = None) -> SelectionPolicy:
+    """Resolve a job's selection policy.
+
+    *policy* may be a :class:`SelectionPolicy` instance (used as-is), a
+    name (``"table"`` / ``"cost_model"``), or None — in which case the
+    environment decides: ``REPRO_COLL_POLICY`` names the base policy and
+    any ``REPRO_COLL_<OP>=<algorithm>`` variables wrap it in a
+    :class:`ForcedSelection`.
+    """
+    if isinstance(policy, SelectionPolicy):
+        return policy
+    if isinstance(policy, str):
+        try:
+            return _POLICY_NAMES[policy]()
+        except KeyError:
+            known = ", ".join(sorted(_POLICY_NAMES))
+            raise ValueError(
+                f"unknown selection policy {policy!r}; known: {known}"
+            ) from None
+    if env is None:
+        import os
+
+        env = os.environ
+    base_name = env.get(ENV_POLICY, "table")
+    base = resolve_policy(base_name)
+    overrides: dict[str, str] = {}
+    for key, value in env.items():
+        if not key.startswith(ENV_OP_PREFIX) or key == ENV_POLICY:
+            continue
+        op = key[len(ENV_OP_PREFIX):].lower()
+        if op not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ValueError(
+                f"{key}: unknown collective op {op!r}; known: {known}"
+            )
+        get_algorithm(op, value)  # raises on unknown algorithm names
+        overrides[op] = value
+    if overrides:
+        return ForcedSelection(overrides, base=base)
+    return base
+
+
+def policy_of(comm) -> SelectionPolicy:
+    """The selection policy governing *comm* (rank-context attribute)."""
+    return getattr(comm.ctx, "policy", None) or DEFAULT_POLICY
+
+
+def trace_event(comm, op: str, algo: str, nbytes: int,
+                policy: str | None = None) -> None:
+    """Record one dispatch decision in the job trace (when enabled)."""
+    tracer = comm.ctx.trace
+    if tracer is not None:
+        rec = {
+            "t": comm.ctx.engine.now,
+            "rank": comm.ctx.world_rank,
+            "comm": comm.name,
+            "op": op,
+            "algo": algo,
+            "nbytes": nbytes,
+        }
+        if policy is not None:
+            rec["policy"] = policy
+        tracer.append(rec)
+
+
+# ---------------------------------------------------------------------------
+# Stage helpers used by composite (hierarchical / hybrid) algorithms
+# ---------------------------------------------------------------------------
+
+def _vector_overhead(comm, blocks: int):
+    tuning = comm.ctx.tuning
+    cost = tuning.vector_block_overhead * blocks
+    if cost > 0:
+        yield comm.ctx.engine.timeout(cost)
+
+
+def bridge_allgatherv(bridge, node_blocks, tag: int, total: int):
+    """Coroutine: inter-leader exchange used inside hierarchical
+    allgathers — a flat v-variant selected by the bridge's policy.
+
+    Node aggregates have equal size only for regular ppn; the v-variant
+    is required in general (paper §4.1)."""
+    req = CollRequest(op="allgatherv", nbytes=total // max(bridge.size, 1),
+                      total=total)
+    algo = policy_of(bridge).select(
+        bridge, req, candidates=("bruck_v", "ring_v")
+    )
+    yield from _vector_overhead(bridge, bridge.size)
+    result = yield from algo.fn(bridge, node_blocks, tag, total)
+    return result
+
+
+def _bridge_bcast(bridge, payload, root: int, tag: int, nbytes: int):
+    """Coroutine: inter-leader broadcast stage (flat algorithm chosen by
+    the bridge's policy from the top-level message size)."""
+    req = CollRequest(op="bcast", nbytes=nbytes, total=nbytes, root=root)
+    algo = policy_of(bridge).select(
+        bridge, req,
+        candidates=("binomial", "scatter_allgather", "pipeline"),
+    )
+    result = yield from algo.fn(bridge, payload, root, tag)
+    return result
+
+
+def _bridge_allreduce(bridge, payload, op, tag: int, nbytes: int):
+    """Coroutine: inter-leader allreduce stage (flat algorithm chosen by
+    the bridge's policy from the top-level message size)."""
+    req = CollRequest(op="allreduce", nbytes=nbytes, total=nbytes)
+    algo = policy_of(bridge).select(
+        bridge, req,
+        candidates=("recursive_doubling", "rabenseifner", "ring"),
+    )
+    result = yield from algo.fn(bridge, payload, op, tag)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Runners: adapt algorithms to the per-op descriptor conventions
+# ---------------------------------------------------------------------------
+
+def _ignore_total(algo):
+    """Adapt a flat ``fn(comm, payload, tag)`` allgather to the
+    ``fn(comm, payload, tag, total)`` registry convention."""
+
+    def run(comm, payload, tag, total):
+        result = yield from algo(comm, payload, tag)
+        return result
+
+    return run
+
+
+def _run_gather_bcast_v(comm, payload, tag, total):
+    result = yield from allgatherv_gather_bcast(comm, payload, tag)
+    return result
+
+
+def _run_smp_allgather(comm, payload, tag, total):
+    def bridge_xchg(bridge, node_blocks, btag):
+        result = yield from bridge_allgatherv(bridge, node_blocks, btag, total)
+        return result
+
+    full = yield from hier.hier_allgather(
+        comm, payload, tag, bridge_xchg, total_nbytes=total
+    )
+    return full
+
+
+def _run_multileader_allgather(comm, payload, tag, total):
+    k = max(1, comm.ctx.tuning.multileader_k)
+
+    def bridge_xchg(bridge, node_blocks, btag):
+        result = yield from bridge_allgatherv(bridge, node_blocks, btag, total)
+        return result
+
+    full = yield from hier.multileader_allgather(
+        comm, payload, tag, k, bridge_xchg
+    )
+    return full
+
+
+def _run_bcast_pipeline(comm, payload, root, tag):
+    result = yield from bcast_pipeline(
+        comm, payload, root, tag, comm.ctx.tuning.bcast_pipeline_chunk
+    )
+    return result
+
+
+def _run_smp_bcast(comm, payload, root, tag):
+    nbytes = nbytes_of(payload)
+
+    def bridge_bc(bridge, p, broot, btag):
+        result = yield from _bridge_bcast(bridge, p, broot, btag, nbytes)
+        return result
+
+    result = yield from hier.hier_bcast(comm, payload, root, tag, bridge_bc)
+    return result
+
+
+def _run_smp_reduce(comm, payload, op, root, tag):
+    result = yield from hier.hier_reduce(comm, payload, op, root, tag)
+    return result
+
+
+def _run_smp_allreduce(comm, payload, op, tag):
+    nbytes = nbytes_of(payload)
+
+    def bridge_ar(bridge, p, o, btag):
+        result = yield from _bridge_allreduce(bridge, p, o, btag, nbytes)
+        return result
+
+    result = yield from hier.hier_allreduce(comm, payload, op, tag, bridge_ar)
+    return result
+
+
+def _run_barrier_shm_flags(comm, tag):
+    yield from barrier_shm_flags(comm, tag)
+
+
+def _run_barrier_smp(comm, tag):
+    tuning = comm.ctx.tuning
+    shm, bridge = yield from hier.hier_comms(comm)
+    if shm.size > 1:
+        yield from barrier_shm_flags(shm, tag)
+    if bridge is not None and bridge.size > 1:
+        yield from barrier_dissemination(bridge, tag)
+    if shm.size > 1:
+        # Release phase: one flag store observed by each child.
+        yield from barrier_shm_flags(
+            shm, tag, rounds_cost=tuning.shm_barrier_flag, phase="release"
+        )
+
+
+def _run_barrier_dissemination(comm, tag):
+    # The flat path (and only it) pays the per-call software overhead,
+    # matching the historical dispatcher.
+    tuning = comm.ctx.tuning
+    if tuning.call_overhead > 0:
+        yield comm.ctx.engine.timeout(tuning.call_overhead)
+    yield from barrier_dissemination(comm, tag)
+
+
+def _not_runnable(*_args, **_kwargs):
+    raise MPIError(
+        "hybrid descriptors are executed by repro.core, not dispatched "
+        "through repro.mpi.collectives"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Applicability predicates
+# ---------------------------------------------------------------------------
+
+def _always(comm, req) -> bool:
+    return True
+
+
+def _pof2_only(comm, req) -> bool:
+    return _is_pof2(comm.size)
+
+
+def _hier_only(comm, req) -> bool:
+    return spans_hierarchy(comm)
+
+
+def _shm_only(comm, req) -> bool:
+    return _single_node(comm)
+
+
+def _multinode_only(comm, req) -> bool:
+    return comm_shape(comm)[0] > 1
+
+
+# ---------------------------------------------------------------------------
+# Cost estimators
+# ---------------------------------------------------------------------------
+
+def _cost_ag_rd(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return _log2p(p) * a + (req.total * (p - 1) / p) * b
+
+
+def _cost_ag_bruck(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    # Same bandwidth term as recursive doubling plus the final-rotation
+    # local pass real Bruck implementations pay.
+    return _log2p(p) * a + (req.total * (p - 1) / p) * b * 1.05
+
+
+def _cost_ag_ring(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return (p - 1) * (a + (req.total / p) * b)
+
+
+def _cost_ag_gather_bcast(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return 2 * _log2p(p) * a + 2 * req.total * b
+
+
+def _cost_ag_smp(comm, req):
+    return _cost_hier_stages(comm, req.total, req.total)
+
+
+def _cost_ag_multileader(comm, req):
+    k = max(1, comm.ctx.tuning.multileader_k)
+    nodes, ppn = comm_shape(comm)
+    a_s, b_s = _shm_perf(comm)
+    a_n, b_n = _net_perf(comm)
+    node_bytes = req.total / max(nodes, 1)
+    funnel = _log2p(max(1, ppn // k)) * a_s + (node_bytes / k) * b_s
+    bridge = (nodes - 1) * (a_n + (node_bytes / k) * b_n)
+    merge = (k - 1) * (a_s + (req.total / k) * b_s)
+    fan = _log2p(max(1, ppn // k)) * a_s + req.total * b_s
+    return funnel + bridge + merge + fan
+
+
+def _cost_bcast_binomial(comm, req):
+    a, b = _perf(comm)
+    return _log2p(comm.size) * (a + req.nbytes * b)
+
+
+def _cost_bcast_scatter_ag(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return (_log2p(p) + p - 1) * a + 2 * req.nbytes * (p - 1) / p * b
+
+
+def _cost_bcast_pipeline(comm, req):
+    a, b = _perf(comm)
+    chunk = max(1, comm.ctx.tuning.bcast_pipeline_chunk)
+    chunks = max(1, math.ceil(req.nbytes / chunk))
+    return (chunks + comm.size - 2) * (a + min(req.nbytes, chunk) * b)
+
+
+def _cost_bcast_smp(comm, req):
+    nodes, ppn = comm_shape(comm)
+    a_s, b_s = _shm_perf(comm)
+    a_n, b_n = _net_perf(comm)
+    return (
+        _log2p(ppn) * (a_s + req.nbytes * b_s)
+        + _log2p(nodes) * (a_n + req.nbytes * b_n)
+    )
+
+
+def _cost_gather_binomial(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    # log(p) rounds; intermediate store-and-forward roughly re-moves
+    # half of the gathered bytes (why tables go linear for big messages).
+    return _log2p(p) * a + req.nbytes * (p - 1) * b * 1.5
+
+
+def _cost_gather_linear(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return (p - 1) * (a + req.nbytes * b)
+
+
+def _cost_reduce_binomial(comm, req):
+    a, b = _perf(comm)
+    return _log2p(comm.size) * (a + req.nbytes * b)
+
+
+def _cost_reduce_smp(comm, req):
+    nodes, ppn = comm_shape(comm)
+    a_s, b_s = _shm_perf(comm)
+    a_n, b_n = _net_perf(comm)
+    return (
+        _log2p(ppn) * (a_s + req.nbytes * b_s)
+        + _log2p(nodes) * (a_n + req.nbytes * b_n)
+    )
+
+
+def _cost_ar_rd(comm, req):
+    a, b = _perf(comm)
+    return _log2p(comm.size) * (a + req.nbytes * b)
+
+
+def _cost_ar_rabenseifner(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return 2 * _log2p(p) * a + 2 * req.nbytes * (p - 1) / p * b
+
+
+def _cost_ar_ring(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return 2 * (p - 1) * (a + (req.nbytes / p) * b)
+
+
+def _cost_ar_smp(comm, req):
+    nodes, ppn = comm_shape(comm)
+    a_s, b_s = _shm_perf(comm)
+    a_n, b_n = _net_perf(comm)
+    on_node = 2 * _log2p(ppn) * (a_s + req.nbytes * b_s)
+    bridge = _log2p(nodes) * (a_n + req.nbytes * b_n)
+    return on_node + bridge
+
+
+def _cost_rs_halving(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return _log2p(p) * a + req.nbytes * (p - 1) / p * b
+
+
+def _cost_rs_pairwise(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return (p - 1) * (a + (req.nbytes / p) * b)
+
+
+def _cost_scan_linear(comm, req):
+    a, b = _perf(comm)
+    return (comm.size - 1) * (a + req.nbytes * b)
+
+
+def _cost_scan_binomial(comm, req):
+    a, b = _perf(comm)
+    return _log2p(comm.size) * (a + req.nbytes * b)
+
+
+def _cost_a2a_bruck(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return _log2p(p) * (a + (req.nbytes * p / 2) * b)
+
+
+def _cost_a2a_pairwise(comm, req):
+    a, b = _perf(comm)
+    p = comm.size
+    return (p - 1) * (a + req.nbytes * b)
+
+
+def _cost_barrier_shm(comm, req):
+    tuning = comm.ctx.tuning
+    return tuning.shm_barrier_base + _log2p(comm.size) * tuning.shm_barrier_flag
+
+
+def _cost_barrier_dissemination(comm, req):
+    a, _b = _perf(comm)
+    return _log2p(comm.size) * a
+
+
+def _cost_barrier_smp(comm, req):
+    nodes, ppn = comm_shape(comm)
+    tuning = comm.ctx.tuning
+    a_n, _b = _net_perf(comm)
+    shm = tuning.shm_barrier_base + _log2p(ppn) * tuning.shm_barrier_flag
+    return shm + _log2p(nodes) * a_n + tuning.shm_barrier_flag
+
+
+def _cost_hy_shared_window(comm, req):
+    nodes, ppn = comm_shape(comm)
+    tuning = comm.ctx.tuning
+    a_n, b_n = _net_perf(comm)
+    sync = 2 * (tuning.shm_barrier_base
+                + _log2p(ppn) * tuning.shm_barrier_flag)
+    if nodes <= 1:
+        return sync / 2
+    node_bytes = req.total / nodes
+    return sync + (nodes - 1) * (a_n + node_bytes * b_n)
+
+
+def _cost_hy_pipelined(comm, req):
+    nodes, _ppn = comm_shape(comm)
+    a_n, b_n = _net_perf(comm)
+    base = _cost_hy_shared_window(comm, req)
+    if nodes <= 1:
+        return base
+    chunk = 128 * 1024
+    node_bytes = req.total / nodes
+    chunks = max(1, math.ceil(node_bytes / chunk))
+    bridge = (chunks + nodes - 2) * (a_n + min(node_bytes, chunk) * b_n)
+    return base - (nodes - 1) * (a_n + node_bytes * b_n) + bridge
+
+
+def _cost_hy_bcast(comm, req):
+    nodes, ppn = comm_shape(comm)
+    tuning = comm.ctx.tuning
+    a_n, b_n = _net_perf(comm)
+    sync = tuning.shm_barrier_base + _log2p(ppn) * tuning.shm_barrier_flag
+    if nodes <= 1:
+        return sync
+    return sync + _log2p(nodes) * (a_n + req.nbytes * b_n)
+
+
+# ---------------------------------------------------------------------------
+# Registrations
+# ---------------------------------------------------------------------------
+
+def _reg(op, name, fn, applicable=_always, cost=None, kind="flat"):
+    register(Algorithm(
+        op=op, name=name, fn=fn, applicable=applicable,
+        cost=cost or (lambda comm, req: 0.0), kind=kind,
+    ))
+
+
+# allgather family ----------------------------------------------------------
+_reg("allgather", "recursive_doubling",
+     _ignore_total(allgather_recursive_doubling),
+     applicable=_pof2_only, cost=_cost_ag_rd)
+_reg("allgather", "bruck", _ignore_total(allgather_bruck),
+     cost=_cost_ag_bruck)
+_reg("allgather", "ring", _ignore_total(allgather_ring), cost=_cost_ag_ring)
+_reg("allgather", "smp_hierarchical", _run_smp_allgather,
+     applicable=_hier_only, cost=_cost_ag_smp, kind="hierarchical")
+_reg("allgather", "multileader", _run_multileader_allgather,
+     applicable=_hier_only, cost=_cost_ag_multileader, kind="hierarchical")
+
+_reg("allgatherv", "bruck_v", _ignore_total(allgatherv_bruck),
+     cost=_cost_ag_bruck)
+_reg("allgatherv", "ring_v", _ignore_total(allgatherv_ring),
+     cost=_cost_ag_ring)
+_reg("allgatherv", "gather_bcast", _run_gather_bcast_v,
+     cost=_cost_ag_gather_bcast)
+_reg("allgatherv", "smp_hierarchical", _run_smp_allgather,
+     applicable=_hier_only, cost=_cost_ag_smp, kind="hierarchical")
+
+# bcast ---------------------------------------------------------------------
+_reg("bcast", "binomial", bcast_binomial, cost=_cost_bcast_binomial)
+_reg("bcast", "scatter_allgather", bcast_scatter_allgather,
+     cost=_cost_bcast_scatter_ag)
+_reg("bcast", "pipeline", _run_bcast_pipeline, cost=_cost_bcast_pipeline)
+_reg("bcast", "smp_hierarchical", _run_smp_bcast,
+     applicable=_hier_only, cost=_cost_bcast_smp, kind="hierarchical")
+
+# gather / scatter ----------------------------------------------------------
+_reg("gather", "binomial", gather_binomial, cost=_cost_gather_binomial)
+_reg("gather", "linear", gather_linear, cost=_cost_gather_linear)
+_reg("gatherv", "binomial", gather_binomial, cost=_cost_gather_binomial)
+_reg("gatherv", "linear", gather_linear, cost=_cost_gather_linear)
+_reg("scatter", "binomial", scatter_binomial, cost=_cost_gather_binomial)
+_reg("scatter", "linear", scatter_linear, cost=_cost_gather_linear)
+
+# reductions ----------------------------------------------------------------
+_reg("reduce", "binomial", reduce_binomial, cost=_cost_reduce_binomial)
+_reg("reduce", "smp_hierarchical", _run_smp_reduce,
+     applicable=_hier_only, cost=_cost_reduce_smp, kind="hierarchical")
+
+_reg("allreduce", "recursive_doubling", allreduce_recursive_doubling,
+     cost=_cost_ar_rd)
+_reg("allreduce", "rabenseifner", allreduce_rabenseifner,
+     applicable=_pof2_only, cost=_cost_ar_rabenseifner)
+_reg("allreduce", "ring", allreduce_ring, cost=_cost_ar_ring)
+_reg("allreduce", "smp_hierarchical", _run_smp_allreduce,
+     applicable=_hier_only, cost=_cost_ar_smp, kind="hierarchical")
+
+_reg("reduce_scatter", "recursive_halving", reduce_scatter_halving,
+     applicable=_pof2_only, cost=_cost_rs_halving)
+_reg("reduce_scatter", "pairwise", reduce_scatter_pairwise,
+     cost=_cost_rs_pairwise)
+
+_reg("scan", "linear", scan_linear, cost=_cost_scan_linear)
+_reg("scan", "binomial", scan_binomial, cost=_cost_scan_binomial)
+_reg("exscan", "binomial", exscan_binomial, cost=_cost_scan_binomial)
+
+# alltoall ------------------------------------------------------------------
+_reg("alltoall", "bruck", alltoall_bruck, cost=_cost_a2a_bruck)
+_reg("alltoall", "pairwise", alltoall_pairwise, cost=_cost_a2a_pairwise)
+
+# barrier -------------------------------------------------------------------
+_reg("barrier", "shm_flags", _run_barrier_shm_flags,
+     applicable=_shm_only, cost=_cost_barrier_shm)
+_reg("barrier", "smp_hierarchical", _run_barrier_smp,
+     applicable=_hier_only, cost=_cost_barrier_smp, kind="hierarchical")
+_reg("barrier", "dissemination", _run_barrier_dissemination,
+     cost=_cost_barrier_dissemination)
+
+# hybrid MPI+MPI (executed by repro.core; registered for selection,
+# forcing, and the cost model) ---------------------------------------------
+_reg("hy_allgather", "shared_window", _not_runnable,
+     cost=_cost_hy_shared_window, kind="hybrid")
+_reg("hy_allgather", "pipelined_ring", _not_runnable,
+     applicable=_multinode_only, cost=_cost_hy_pipelined, kind="hybrid")
+_reg("hy_bcast", "shared_window", _not_runnable,
+     cost=_cost_hy_bcast, kind="hybrid")

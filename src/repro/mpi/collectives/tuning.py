@@ -85,9 +85,23 @@ class CollectiveTuning:
     #: Rabenseifner (reduce-scatter + allgather).
     allreduce_rd_max: int = 64 * 1024
 
+    # -- reduce_scatter -----------------------------------------------------
+    #: Above this size (and power-of-two comms) reduce_scatter uses
+    #: recursive halving; otherwise pairwise exchange.
+    reduce_scatter_halving_min: int = 4096
+
+    # -- scan ---------------------------------------------------------------
+    #: Up to this communicator size scan uses the linear chain.
+    scan_linear_max_ranks: int = 4
+
     # -- alltoall ---------------------------------------------------------
     #: Up to this per-pair size alltoall uses Bruck; above, pairwise.
     alltoall_bruck_max: int = 1024
+
+    # -- hierarchical --------------------------------------------------------
+    #: Leaders per node for the multi-leader allgather ablation
+    #: (Kandalla et al. 2009, the paper's [14]).
+    multileader_k: int = 2
 
     def with_(self, **overrides) -> "CollectiveTuning":
         """Copy with fields replaced."""

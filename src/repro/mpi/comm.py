@@ -257,16 +257,31 @@ class Comm:
         self._coll_seq += 1
         return MAX_INTERNAL_TAG + self._coll_seq
 
-    def _profiled(self, op: str, nbytes: int, gen):
-        """Coroutine: run a dispatch generator, recording op statistics."""
+    def _collective(self, op: str, nbytes: int, gen):
+        """Single collective entry point (coroutine).
+
+        Every collective — blocking or non-blocking — runs through here,
+        so per-operation profiling is uniform; the dispatch layer records
+        the matching trace entry (op, algorithm, policy, bytes) for the
+        same call.
+
+        Per-op byte conventions (see :mod:`repro.mpi.profiler`):
+        rooted/scan family charge the local message size; allgather
+        charges ``nbytes * size``; allgatherv charges the agreed sum of
+        per-rank sizes; scatter charges the root's total payload;
+        alltoall charges this rank's total send volume; barrier is zero.
+        """
         t0 = self._ctx.engine.now
         result = yield from gen
         self._ctx.profile.record(op, nbytes, self._ctx.engine.now - t0)
         return result
 
+    # Backward-compatible alias (pre-registry name).
+    _profiled = _collective
+
     def barrier(self):
         """Barrier over all member ranks (coroutine)."""
-        yield from self._profiled(
+        yield from self._collective(
             "barrier", 0,
             _coll.dispatch_barrier(self, self._next_coll_tag()),
         )
@@ -276,7 +291,7 @@ class Comm:
         from repro.mpi.datatypes import nbytes_of
 
         return (
-            yield from self._profiled(
+            yield from self._collective(
                 "bcast", nbytes_of(payload),
                 _coll.dispatch_bcast(
                     self, payload, root, self._next_coll_tag()
@@ -286,25 +301,44 @@ class Comm:
 
     def gather(self, payload: Any, root: int = 0):
         """Gather to *root*; returns list of payloads (None elsewhere)."""
+        from repro.mpi.datatypes import nbytes_of
+
         return (
-            yield from _coll.dispatch_gather(
-                self, payload, root, self._next_coll_tag()
+            yield from self._collective(
+                "gather", nbytes_of(payload),
+                _coll.dispatch_gather(
+                    self, payload, root, self._next_coll_tag()
+                ),
             )
         )
 
     def gatherv(self, payload: Any, root: int = 0):
         """Irregular gather to *root* (per-rank sizes may differ)."""
+        from repro.mpi.datatypes import nbytes_of
+
         return (
-            yield from _coll.dispatch_gather(
-                self, payload, root, self._next_coll_tag(), irregular=True
+            yield from self._collective(
+                "gatherv", nbytes_of(payload),
+                _coll.dispatch_gather(
+                    self, payload, root, self._next_coll_tag(),
+                    irregular=True,
+                ),
             )
         )
 
     def scatter(self, payloads: list[Any] | None, root: int = 0):
         """Scatter list *payloads* (significant at root); returns own part."""
+        from repro.mpi.datatypes import nbytes_of
+
+        nbytes = (
+            sum(nbytes_of(p) for p in payloads) if payloads is not None else 0
+        )
         return (
-            yield from _coll.dispatch_scatter(
-                self, payloads, root, self._next_coll_tag()
+            yield from self._collective(
+                "scatter", nbytes,
+                _coll.dispatch_scatter(
+                    self, payloads, root, self._next_coll_tag()
+                ),
             )
         )
 
@@ -313,7 +347,7 @@ class Comm:
         from repro.mpi.datatypes import nbytes_of
 
         return (
-            yield from self._profiled(
+            yield from self._collective(
                 "allgather", nbytes_of(payload) * self.size,
                 _coll.dispatch_allgather(
                     self, payload, self._next_coll_tag()
@@ -322,23 +356,37 @@ class Comm:
         )
 
     def allgatherv(self, payload: Any):
-        """Irregular allgather (per-rank sizes may differ)."""
+        """Irregular allgather (per-rank sizes may differ).
+
+        The size-agreement gate runs first (zero virtual time) so the
+        profiler charges the *actual* summed per-rank bytes rather than
+        ``local_size * comm_size`` — the two differ exactly when the
+        v-variant matters (irregular nodes, Fig 10)."""
         from repro.mpi.datatypes import nbytes_of
 
+        tag = self._next_coll_tag()
+        nbytes = nbytes_of(payload)
+        if self.size > 1:
+            total = yield from _coll._agree_total(self, nbytes, tag)
+        else:
+            total = nbytes
         return (
-            yield from self._profiled(
-                "allgatherv", nbytes_of(payload) * self.size,
-                _coll.dispatch_allgatherv(
-                    self, payload, self._next_coll_tag()
-                ),
+            yield from self._collective(
+                "allgatherv", total,
+                _coll.dispatch_allgatherv(self, payload, tag, total=total),
             )
         )
 
     def reduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0):
         """Reduce to *root*; returns the reduction there, None elsewhere."""
+        from repro.mpi.datatypes import nbytes_of
+
         return (
-            yield from _coll.dispatch_reduce(
-                self, payload, op, root, self._next_coll_tag()
+            yield from self._collective(
+                "reduce", nbytes_of(payload),
+                _coll.dispatch_reduce(
+                    self, payload, op, root, self._next_coll_tag()
+                ),
             )
         )
 
@@ -347,7 +395,7 @@ class Comm:
         from repro.mpi.datatypes import nbytes_of
 
         return (
-            yield from self._profiled(
+            yield from self._collective(
                 "allreduce", nbytes_of(payload),
                 _coll.dispatch_allreduce(
                     self, payload, op, self._next_coll_tag()
@@ -357,68 +405,100 @@ class Comm:
 
     def alltoall(self, payloads: list[Any]):
         """All-to-all personalized exchange; returns received list."""
+        from repro.mpi.datatypes import nbytes_of
+
         return (
-            yield from _coll.dispatch_alltoall(
-                self, payloads, self._next_coll_tag()
+            yield from self._collective(
+                "alltoall", sum(nbytes_of(p) for p in payloads),
+                _coll.dispatch_alltoall(
+                    self, payloads, self._next_coll_tag()
+                ),
             )
         )
 
     def scan(self, payload: Any, op: ReduceOp = ReduceOp.SUM):
         """Inclusive prefix reduction."""
+        from repro.mpi.datatypes import nbytes_of
+
         return (
-            yield from _coll.dispatch_scan(
-                self, payload, op, self._next_coll_tag()
+            yield from self._collective(
+                "scan", nbytes_of(payload),
+                _coll.dispatch_scan(
+                    self, payload, op, self._next_coll_tag()
+                ),
             )
         )
 
     def exscan(self, payload: Any, op: ReduceOp = ReduceOp.SUM):
         """Exclusive prefix reduction (None on rank 0)."""
+        from repro.mpi.datatypes import nbytes_of
+
         return (
-            yield from _coll.dispatch_exscan(
-                self, payload, op, self._next_coll_tag()
+            yield from self._collective(
+                "exscan", nbytes_of(payload),
+                _coll.dispatch_exscan(
+                    self, payload, op, self._next_coll_tag()
+                ),
             )
         )
 
     def reduce_scatter(self, payload: Any, op: ReduceOp = ReduceOp.SUM):
         """Block reduce-scatter: returns this rank's reduced block."""
+        from repro.mpi.datatypes import nbytes_of
+
         return (
-            yield from _coll.dispatch_reduce_scatter(
-                self, payload, op, self._next_coll_tag()
+            yield from self._collective(
+                "reduce_scatter", nbytes_of(payload),
+                _coll.dispatch_reduce_scatter(
+                    self, payload, op, self._next_coll_tag()
+                ),
             )
         )
 
     # -- non-blocking collectives ------------------------------------------
-    def _icoll(self, name: str, gen) -> Request:
-        """Spawn a collective as a background process (MPI-3 style)."""
+    def _icoll(self, name: str, nbytes: int, gen) -> Request:
+        """Spawn a collective as a background process (MPI-3 style).
+
+        The spawned generator still runs through :meth:`_collective`, so
+        non-blocking collectives appear in the profile under their own
+        ``i``-prefixed op names (time = issue-to-completion span)."""
         proc = self._ctx.engine.spawn(
-            gen, name=f"{self.name}.{name}@r{self.rank}"
+            self._collective(name, nbytes, gen),
+            name=f"{self.name}.{name}@r{self.rank}",
         )
         return Request(proc, name)
 
     def ibarrier(self) -> Request:
         """Non-blocking barrier; wait on the returned request."""
         return self._icoll(
-            "ibarrier", _coll.dispatch_barrier(self, self._next_coll_tag())
+            "ibarrier", 0,
+            _coll.dispatch_barrier(self, self._next_coll_tag()),
         )
 
     def ibcast(self, payload: Any, root: int = 0) -> Request:
         """Non-blocking broadcast; request value is the payload."""
+        from repro.mpi.datatypes import nbytes_of
+
         return self._icoll(
-            "ibcast",
+            "ibcast", nbytes_of(payload),
             _coll.dispatch_bcast(self, payload, root, self._next_coll_tag()),
         )
 
     def iallgather(self, payload: Any) -> Request:
         """Non-blocking allgather; request value is the payload list."""
+        from repro.mpi.datatypes import nbytes_of
+
         return self._icoll(
-            "iallgather",
+            "iallgather", nbytes_of(payload) * self.size,
             _coll.dispatch_allgather(self, payload, self._next_coll_tag()),
         )
 
     def iallreduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM) -> Request:
         """Non-blocking allreduce; request value is the result."""
+        from repro.mpi.datatypes import nbytes_of
+
         return self._icoll(
-            "iallreduce",
+            "iallreduce", nbytes_of(payload),
             _coll.dispatch_allreduce(self, payload, op, self._next_coll_tag()),
         )
 

@@ -1,10 +1,32 @@
 """Per-rank communication profiling (PMPI-style interposition).
 
-Every collective dispatch and point-to-point completion records into the
-rank's :class:`CommProfile`; :func:`aggregate_profiles` merges the
-per-rank records into a job-wide summary.  The applications use this to
-report the communication fraction of their runtime (the quantity the
-paper's Figs 11-12 ratios are made of).
+Every collective — blocking or non-blocking — runs through
+:meth:`Comm._collective` and records into the rank's
+:class:`CommProfile`; :func:`aggregate_profiles` merges the per-rank
+records into a job-wide summary.  The applications use this to report
+the communication fraction of their runtime (the quantity the paper's
+Figs 11-12 ratios are made of).
+
+Per-op byte conventions (what one call charges on one rank):
+
+=====================  ====================================================
+op                     bytes recorded
+=====================  ====================================================
+barrier / ibarrier     0
+bcast / ibcast         message size (same on every rank, as MPI requires)
+reduce, allreduce,
+scan, exscan,
+reduce_scatter         local contribution size
+gather / gatherv       this rank's sent contribution
+scatter                root: total payload list size; non-roots: 0
+allgather/iallgather   ``local_size * comm_size`` (full result, regular)
+allgatherv             agreed **sum of actual per-rank sizes** — differs
+                       from ``local * size`` exactly when irregular
+alltoall               this rank's total send volume (sum over peers)
+=====================  ====================================================
+
+Non-blocking collectives record under their own ``i``-prefixed op names;
+their time is the issue-to-completion span of the background proc.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from typing import Any, Callable
 from repro.machine.model import Machine, MachineSpec
 from repro.machine.noise import NoiseModel
 from repro.machine.placement import Placement
+from repro.mpi.collectives.registry import SelectionPolicy, resolve_policy
 from repro.mpi.collectives.tuning import CollectiveTuning, tuning_for_machine
 from repro.mpi.comm import Comm, _CommShared
 from repro.mpi.datatypes import Bytes
@@ -57,8 +58,8 @@ class RankContext:
 
     __slots__ = (
         "world_rank", "engine", "machine", "placement", "job",
-        "world", "data_mode", "tuning", "trace", "rng", "profile",
-        "noise", "_noise_rng",
+        "world", "data_mode", "tuning", "policy", "trace", "rng",
+        "profile", "noise", "_noise_rng",
     )
 
     def __init__(self, job: "MPIJob", world_rank: int):
@@ -69,6 +70,7 @@ class RankContext:
         self.placement = job.placement
         self.data_mode = job.payload_mode == "data"
         self.tuning = job.tuning
+        self.policy = job.policy
         self.trace = job.trace_log if job.trace else None
         self.world: Comm = None  # type: ignore[assignment] - set by MPIJob
         self.rng = np.random.default_rng(job.seed + world_rank)
@@ -191,6 +193,7 @@ class MPIJob:
         placement: Placement | None = None,
         payload_mode: str = "data",
         tuning: CollectiveTuning | None = None,
+        policy: SelectionPolicy | str | None = None,
         trace: bool = False,
         link_contention: bool = False,
         seed: int = 12345,
@@ -217,6 +220,9 @@ class MPIJob:
         self.msg_engine = MessageEngine(self.engine, self.machine)
         self.payload_mode = payload_mode
         self.tuning = tuning or tuning_for_machine(spec.name)
+        # None -> environment-driven (REPRO_COLL_POLICY / REPRO_COLL_<OP>);
+        # a name or SelectionPolicy instance overrides the environment.
+        self.policy = resolve_policy(policy)
         self.trace = trace
         self.trace_log: list[dict] = []
         self.seed = seed

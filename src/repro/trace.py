@@ -1,8 +1,8 @@
 """Trace inspection and export utilities.
 
 Jobs run with ``trace=True`` collect one record per collective dispatch
-(time, rank, communicator, operation, algorithm, bytes).  This module
-turns those records into:
+(time, rank, communicator, operation, algorithm, selection policy,
+bytes).  This module turns those records into:
 
 * :func:`summarize` — per-(op, algo) aggregate counts/bytes;
 * :func:`to_chrome_trace` — a ``chrome://tracing`` / Perfetto compatible
@@ -67,6 +67,7 @@ def to_chrome_trace(trace: list[dict]) -> dict:
                 "args": {
                     "comm": rec.get("comm", "?"),
                     "nbytes": rec.get("nbytes", 0),
+                    "policy": rec.get("policy", "table"),
                 },
             }
         )

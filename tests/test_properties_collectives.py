@@ -1,14 +1,19 @@
-"""Property-based tests over randomized collective configurations."""
+"""Property-based tests over randomized collective configurations,
+plus an exhaustive sweep of every registered collective algorithm."""
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.machine import Placement
+from repro.mpi.collectives import registry
+from repro.mpi.collectives.registry import CollRequest, ForcedSelection
+from repro.mpi.collectives.tuning import generic_tuning
 from repro.mpi.constants import ReduceOp
-from tests.helpers import returns_of
+from tests.helpers import returns_of, run
 
 _CHEAP = settings(
     max_examples=12, deadline=None,
@@ -136,6 +141,189 @@ def test_reduce_scatter_conserves_total(nranks, blocks_scale):
         for r in range(nranks)
     )
     assert total_of_parts == float(full)
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive registry sweep: every registered algorithm of every mpi-layer
+# op must produce bit-identical data to the flat reference implementation,
+# over pof2 / non-pof2 sizes and single-/multi-node placements.
+
+_PLACEMENTS = {
+    "1x4_pof2": Placement.irregular([4]),
+    "1x3_nonpof2": Placement.irregular([3]),
+    "2x2_hier": Placement.irregular([2, 2]),
+    "3+2_hier_nonpof2": Placement.irregular([3, 2]),
+}
+
+_ALGO_CASES = [
+    (op, algo.name)
+    for op in sorted(registry.ops())
+    if not op.startswith("hy_")  # hybrid ops run via repro.core, not dispatch
+    for algo in registry.algorithms_for(op)
+]
+
+
+def _prog_allgather(mpi):
+    comm = mpi.world
+    out = yield from comm.allgather(np.arange(3.0) + 10 * comm.rank)
+    return [list(np.asarray(b)) for b in out]
+
+
+def _prog_allgatherv(mpi):
+    comm = mpi.world
+    mine = np.full(1 + comm.rank % 3, float(comm.rank))
+    out = yield from comm.allgatherv(mine)
+    return [list(np.asarray(b)) for b in out]
+
+
+def _prog_bcast(mpi):
+    comm = mpi.world
+    buf = np.arange(4.0) + 7 if comm.rank == 0 else np.empty(4)
+    out = yield from comm.bcast(buf, root=0)
+    return list(np.asarray(out))
+
+
+def _prog_gather(mpi):
+    comm = mpi.world
+    out = yield from comm.gather(np.array([float(comm.rank), 2.0]), root=0)
+    if out is None:
+        return None
+    return [list(np.asarray(b)) for b in out]
+
+
+def _prog_gatherv(mpi):
+    comm = mpi.world
+    mine = np.full(1 + comm.rank % 2, float(comm.rank))
+    out = yield from comm.gatherv(mine, root=0)
+    if out is None:
+        return None
+    return [list(np.asarray(b)) for b in out]
+
+
+def _prog_scatter(mpi):
+    comm = mpi.world
+    parts = (
+        [np.full(2, float(r * r)) for r in range(comm.size)]
+        if comm.rank == 0 else None
+    )
+    out = yield from comm.scatter(parts, root=0)
+    return list(np.asarray(out))
+
+
+def _prog_reduce(mpi):
+    comm = mpi.world
+    out = yield from comm.reduce(
+        np.arange(3.0) * (comm.rank + 1), ReduceOp.SUM, root=0
+    )
+    return None if out is None else list(np.asarray(out))
+
+
+def _prog_allreduce(mpi):
+    comm = mpi.world
+    out = yield from comm.allreduce(
+        np.arange(3.0) * (comm.rank + 1), ReduceOp.SUM
+    )
+    return list(np.asarray(out))
+
+
+def _prog_alltoall(mpi):
+    comm = mpi.world
+    sends = [
+        np.array([float(comm.rank * comm.size + peer)])
+        for peer in range(comm.size)
+    ]
+    out = yield from comm.alltoall(sends)
+    return [list(np.asarray(b)) for b in out]
+
+
+def _prog_scan(mpi):
+    comm = mpi.world
+    out = yield from comm.scan(np.arange(2.0) + comm.rank, ReduceOp.SUM)
+    return list(np.asarray(out))
+
+
+def _prog_exscan(mpi):
+    comm = mpi.world
+    out = yield from comm.exscan(np.arange(2.0) + comm.rank, ReduceOp.SUM)
+    return None if out is None else list(np.asarray(out))
+
+
+def _prog_reduce_scatter(mpi):
+    comm = mpi.world
+    vec = np.arange(float(comm.size * 2)) * (comm.rank + 1)
+    out = yield from comm.reduce_scatter(vec, ReduceOp.SUM)
+    return list(np.asarray(out))
+
+
+def _prog_barrier(mpi):
+    yield from mpi.world.barrier()
+    return mpi.world.rank
+
+
+_PROGRAMS = {
+    "allgather": _prog_allgather,
+    "allgatherv": _prog_allgatherv,
+    "allreduce": _prog_allreduce,
+    "alltoall": _prog_alltoall,
+    "barrier": _prog_barrier,
+    "bcast": _prog_bcast,
+    "exscan": _prog_exscan,
+    "gather": _prog_gather,
+    "gatherv": _prog_gatherv,
+    "reduce": _prog_reduce,
+    "reduce_scatter": _prog_reduce_scatter,
+    "scan": _prog_scan,
+    "scatter": _prog_scatter,
+}
+
+_probe_comms: dict[str, object] = {}
+_flat_refs: dict[tuple[str, str], object] = {}
+
+
+def _comm_of(pkey):
+    """A (finished) communicator for applicability checks."""
+    if pkey not in _probe_comms:
+        placement = _PLACEMENTS[pkey]
+        box = []
+
+        def probe(mpi):
+            box.append(mpi.world)
+            yield from mpi.world.barrier()
+
+        run(probe, nodes=placement.num_nodes, cores=4, placement=placement)
+        _probe_comms[pkey] = box[0]
+    return _probe_comms[pkey]
+
+
+def _flat_reference(pkey, op):
+    """Per-rank results of the flat (smp_aware=False) implementation."""
+    if (pkey, op) not in _flat_refs:
+        placement = _PLACEMENTS[pkey]
+        _flat_refs[(pkey, op)] = returns_of(
+            _PROGRAMS[op], nodes=placement.num_nodes, cores=4,
+            placement=placement,
+            tuning=generic_tuning().with_(smp_aware=False),
+        )
+    return _flat_refs[(pkey, op)]
+
+
+@pytest.mark.parametrize("pkey", sorted(_PLACEMENTS))
+@pytest.mark.parametrize(("op", "algo_name"), _ALGO_CASES)
+def test_every_algorithm_matches_flat_reference(pkey, op, algo_name):
+    placement = _PLACEMENTS[pkey]
+    algo = registry.get_algorithm(op, algo_name)
+    probe = _comm_of(pkey)
+    req = CollRequest(op=op, nbytes=0, total=0, root=0)
+    if not algo.applicable(probe, req):
+        pytest.skip(f"{op}/{algo_name} not applicable on {pkey}")
+    result = run(
+        _PROGRAMS[op], nodes=placement.num_nodes, cores=4,
+        placement=placement, trace=True,
+        policy=ForcedSelection({op: algo_name}),
+    )
+    assert result.returns == _flat_reference(pkey, op)
+    dispatched = {(r["op"], r["algo"]) for r in result.trace}
+    assert (op, algo_name) in dispatched
 
 
 @given(seed=st.integers(0, 10_000))
