@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Check relative markdown links and intra-document anchors.
+
+Usage::
+
+    python scripts/check_links.py README.md docs
+
+Arguments are markdown files or directories (scanned for ``*.md``).
+For every inline link ``[text](target)``:
+
+* ``http(s)://`` and ``mailto:`` targets are skipped (no network in CI);
+* relative file targets must exist (resolved against the containing
+  file's directory);
+* ``#anchor`` fragments — bare or on a relative ``.md`` target — must
+  match a heading in the referenced document, using GitHub's slug rules
+  (lowercase, punctuation dropped, spaces to dashes).
+
+Exit status 0 when everything resolves, 1 otherwise (one line per
+broken link).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading anchors of a markdown file (code fences skipped)."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_md_files(args: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for arg in args:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        else:
+            files.append(p)
+    return files
+
+
+def check(files: list[Path]) -> list[str]:
+    errors: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
+    for md in files:
+        in_fence = False
+        for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), 1
+        ):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part, _, fragment = target.partition("#")
+                if path_part:
+                    dest = (md.parent / path_part).resolve()
+                    if not dest.exists():
+                        errors.append(
+                            f"{md}:{lineno}: broken link -> {target}"
+                        )
+                        continue
+                else:
+                    dest = md.resolve()
+                if fragment and dest.suffix == ".md":
+                    if dest not in anchor_cache:
+                        anchor_cache[dest] = anchors_of(dest)
+                    if fragment not in anchor_cache[dest]:
+                        errors.append(
+                            f"{md}:{lineno}: missing anchor -> {target}"
+                        )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = iter_md_files(argv)
+    errors = check(files)
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

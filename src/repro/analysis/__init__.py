@@ -1,0 +1,9 @@
+"""Post-run analyses over job results and trace streams."""
+
+from repro.analysis.critical_path import (
+    CriticalPathReport,
+    critical_path_report,
+    format_report,
+)
+
+__all__ = ["CriticalPathReport", "critical_path_report", "format_report"]

@@ -1,0 +1,152 @@
+"""Critical-path attribution over a span trace.
+
+Answers the question behind the paper's Figs 9/11/12: *which operations
+and phases dominate end-to-end virtual time?*  The end-to-end time of a
+bulk-synchronous MPI job equals the time of its slowest rank, so the
+analysis:
+
+1. picks the **critical rank** — the rank whose last span ends latest
+   (ties break toward the lower rank, deterministically);
+2. walks that rank's span tree (dispatch spans with their nested phase
+   children, linked by ``sid``/``parent``) and attributes each span's
+   **self time** — its duration minus the duration of its child spans —
+   to a category labelled by the name chain, e.g.
+   ``allgather:hier_leader/bridge_exchange``;
+3. charges whatever the spans do not cover (compute, setup, gaps between
+   collectives) to the ``(outside spans)`` category.
+
+Convention: the per-category times of the report **sum exactly to the
+end-to-end virtual time** (``total``) by construction — the gap category
+is defined as the remainder.  Float addition makes "exactly" a relative
+tolerance of a few ulps in practice, which is what the tests assert.
+
+The decomposition assumes spans on one rank nest (true for blocking
+collectives; concurrent non-blocking collectives on one rank can
+overlap, which distorts depth bookkeeping and may drive the gap
+negative — the report carries on, it is attribution, not accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CriticalPathReport", "critical_path_report", "format_report"]
+
+#: Category charged with time not covered by any top-level span.
+OUTSIDE = "(outside spans)"
+
+#: Record kinds that participate in the decomposition (p2p waits and
+#: queue-wait instants are diagnostics, already contained in phases).
+_TREE_KINDS = ("dispatch", "phase")
+
+
+def _span_name(rec: dict) -> str:
+    if rec.get("kind", "dispatch") == "phase":
+        return rec["phase"]
+    return f"{rec['op']}:{rec['algo']}"
+
+
+@dataclass
+class CriticalPathReport:
+    """Per-category decomposition of the critical rank's virtual time."""
+
+    rank: int
+    total: float
+    categories: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+
+    def sorted_categories(self) -> list[tuple[str, float]]:
+        """Categories by descending time (``(outside spans)`` included)."""
+        return sorted(
+            self.categories.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+
+    def top(self, n: int = 5) -> list[tuple[str, float]]:
+        """The *n* most expensive categories."""
+        return self.sorted_categories()[:n]
+
+
+def critical_path_report(trace: list[dict],
+                         total_time: float | None = None) -> CriticalPathReport:
+    """Decompose end-to-end time into per-op/per-phase categories.
+
+    *trace* is a job's span stream (``JobResult.trace``); *total_time*
+    overrides the end-to-end time (pass ``result.elapsed`` to charge
+    trailing non-span work to ``(outside spans)``; default is the latest
+    span end seen in the trace).
+
+    Instant records (no ``dur``) and open spans are skipped; so are p2p
+    and queue-wait records — their time is already inside the enclosing
+    phase span.
+    """
+    spans = [
+        rec for rec in trace
+        if rec.get("kind", "dispatch") in _TREE_KINDS
+        and rec.get("dur") is not None
+    ]
+    if not spans:
+        return CriticalPathReport(
+            rank=-1,
+            total=total_time or 0.0,
+            categories={OUTSIDE: total_time or 0.0} if total_time else {},
+        )
+
+    # 1. critical rank: latest span end wins; tie -> lowest rank.
+    end_of: dict[int, float] = {}
+    for rec in spans:
+        end = rec["t"] + rec["dur"]
+        rank = rec["rank"]
+        if rank not in end_of or end > end_of[rank]:
+            end_of[rank] = end
+    crit = min(r for r, e in end_of.items() if e == max(end_of.values()))
+    total = total_time if total_time is not None else end_of[crit]
+
+    mine = [rec for rec in spans if rec["rank"] == crit]
+    by_sid = {rec["sid"]: rec for rec in mine}
+    child_time: dict[int, float] = {}
+    for rec in mine:
+        parent = rec.get("parent")
+        if parent in by_sid:
+            child_time[parent] = child_time.get(parent, 0.0) + rec["dur"]
+
+    # 2. self time per label chain.
+    categories: dict[str, float] = {}
+    calls: dict[str, int] = {}
+    covered = 0.0
+    for rec in mine:
+        chain = [_span_name(rec)]
+        parent = rec.get("parent")
+        while parent in by_sid:
+            chain.append(_span_name(by_sid[parent]))
+            parent = by_sid[parent].get("parent")
+        label = "/".join(reversed(chain))
+        self_time = rec["dur"] - child_time.get(rec["sid"], 0.0)
+        categories[label] = categories.get(label, 0.0) + self_time
+        calls[label] = calls.get(label, 0) + 1
+        if rec.get("parent") not in by_sid:  # top-level span
+            covered += rec["dur"]
+
+    # 3. the remainder: compute, setup, inter-collective gaps.
+    categories[OUTSIDE] = total - covered
+    return CriticalPathReport(
+        rank=crit, total=total, categories=categories, calls=calls
+    )
+
+
+def format_report(report: CriticalPathReport, max_rows: int = 20) -> str:
+    """Render a report as an aligned text table (times in µs, percents
+    of end-to-end virtual time)."""
+    lines = [
+        f"critical rank: {report.rank}   "
+        f"end-to-end: {report.total * 1e6:.2f} us",
+        f"{'category':<48} {'calls':>6} {'time(us)':>10} {'%':>6}",
+    ]
+    rows = report.sorted_categories()
+    for label, t in rows[:max_rows]:
+        pct = 100.0 * t / report.total if report.total else 0.0
+        n = report.calls.get(label, 0)
+        n_s = str(n) if n else "-"
+        lines.append(f"{label:<48} {n_s:>6} {t * 1e6:>10.2f} {pct:>5.1f}%")
+    if len(rows) > max_rows:
+        lines.append(f"... (+{len(rows) - max_rows} more categories)")
+    return "\n".join(lines)

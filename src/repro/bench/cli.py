@@ -14,6 +14,13 @@ Algorithm-selection ablations (the registry's pluggable policies)::
     repro-bench --figure fig7 --policy cost_model
     repro-bench --figure fig9a --algo allgather=ring
     repro-bench --figure fig7 --algo allgather=bruck --algo bcast=binomial
+
+Observability (span tracing, metrics, critical path — see
+docs/observability.md)::
+
+    repro-bench --trace-out run.json
+    repro-bench --trace-out run.json --trace-detail p2p
+    repro-bench --metrics-out metrics.prom --trace-variant pure
 """
 
 from __future__ import annotations
@@ -78,7 +85,77 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-algos", action="store_true",
         help="list registered collective algorithms per op",
     )
+    obs = parser.add_argument_group(
+        "observability",
+        "trace one Fig 9-config allgather run (see docs/observability.md)",
+    )
+    obs.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a Chrome/Perfetto trace of one traced run to FILE",
+    )
+    obs.add_argument(
+        "--metrics-out", metavar="FILE",
+        help=(
+            "write metrics of one traced run to FILE "
+            "(.json -> JSON, otherwise Prometheus text format)"
+        ),
+    )
+    obs.add_argument(
+        "--trace-detail", choices=("dispatch", "phase", "p2p"),
+        default="phase",
+        help="span granularity of the traced run (default: phase)",
+    )
+    obs.add_argument(
+        "--trace-variant", choices=("hybrid", "pure"), default="hybrid",
+        help="allgather variant to trace (default: hybrid)",
+    )
+    obs.add_argument(
+        "--trace-nodes", type=int, default=4, metavar="N",
+        help="nodes of the traced run (default: 4)",
+    )
+    obs.add_argument(
+        "--trace-ppn", type=int, default=8, metavar="N",
+        help="ranks per node of the traced run (default: 8)",
+    )
+    obs.add_argument(
+        "--trace-elements", type=int, default=512, metavar="N",
+        help="float64 elements per rank (default: 512, a Fig 9 point)",
+    )
     return parser
+
+
+def _run_traced(args) -> int:
+    """Handle --trace-out/--metrics-out: one traced allgather run."""
+    from repro.bench.observe import render_critical_path, run_traced_allgather
+    from repro.metrics import collect_metrics, save_metrics
+    from repro.trace import save_chrome_trace
+
+    result, _tracer = run_traced_allgather(
+        variant=args.trace_variant,
+        nodes=args.trace_nodes,
+        ppn=args.trace_ppn,
+        elements=args.trace_elements,
+        detail=args.trace_detail,
+    )
+    if not args.quiet:
+        print(
+            f"traced {args.trace_variant} allgather: "
+            f"{args.trace_nodes} nodes x {args.trace_ppn} ranks, "
+            f"{args.trace_elements} elements/rank, "
+            f"detail={args.trace_detail}, "
+            f"{len(result.trace)} trace records"
+        )
+    if args.trace_out:
+        save_chrome_trace(result.trace, args.trace_out)
+        if not args.quiet:
+            print(f"wrote Chrome trace to {args.trace_out} "
+                  "(open in https://ui.perfetto.dev)")
+    if args.metrics_out:
+        save_metrics(collect_metrics(result), args.metrics_out)
+        if not args.quiet:
+            print(f"wrote metrics to {args.metrics_out}")
+    print(render_critical_path(result))
+    return 0
 
 
 def _selection_env(policy: str | None, algos: list[str]) -> dict[str, str]:
@@ -126,6 +203,8 @@ def main(argv: list[str] | None = None) -> int:
             fig = FIGURES[fid]
             print(f"{fid.ljust(width)}  {fig.title}")
         return 0
+    if args.trace_out or args.metrics_out:
+        return _run_traced(args)
     if not args.figure and not args.all:
         print("nothing to do: pass --figure <id>, --all, or --list",
               file=sys.stderr)

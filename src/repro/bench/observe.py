@@ -1,0 +1,74 @@
+"""Traced benchmark runs for the observability exports.
+
+`repro-bench --trace-out/--metrics-out` runs one Fig 9-configuration
+allgather (hybrid by default, pure-MPI via ``--trace-variant pure``)
+with span tracing enabled and exports:
+
+* a Chrome/Perfetto trace (``--trace-out``),
+* JSON or Prometheus metrics (``--metrics-out``),
+* a critical-path report on stdout.
+
+The figures pipeline itself never exposes job traces (each figure point
+builds its job internally); this module is the dedicated path for
+inspecting *one* run phase-by-phase.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.critical_path import critical_path_report, format_report
+from repro.machine.placement import Placement
+from repro.machine.presets import hazel_hen
+from repro.mpi.runtime import JobResult, run_program
+from repro.trace import Tracer
+
+__all__ = ["run_traced_allgather"]
+
+
+def run_traced_allgather(
+    variant: str = "hybrid",
+    nodes: int = 4,
+    ppn: int = 8,
+    elements: int = 512,
+    detail: str = "phase",
+    reps: int = 3,
+    warmup: int = 1,
+) -> tuple[JobResult, Tracer]:
+    """Run one Fig 9-config allgather with tracing; returns (result, tracer).
+
+    *variant* is ``"hybrid"`` (paper Fig 3b/4) or ``"pure"`` (the
+    SMP-aware pure-MPI baseline); *elements* are float64 per rank, as in
+    the paper's OSU-style sweeps.
+    """
+    from repro.bench.osu import (
+        hybrid_allgather_program,
+        pure_allgather_program,
+    )
+
+    if variant not in ("hybrid", "pure"):
+        raise ValueError(f"variant must be 'hybrid' or 'pure', got {variant!r}")
+    program = (
+        hybrid_allgather_program if variant == "hybrid"
+        else pure_allgather_program
+    )
+    tracer = Tracer(detail=detail)
+    result = run_program(
+        hazel_hen(nodes),
+        None,
+        program,
+        placement=Placement.block(nodes, ppn),
+        payload_mode="model",
+        trace=tracer,
+        program_kwargs={
+            "nbytes_per_rank": elements * 8,
+            "reps": reps,
+            "warmup": warmup,
+        },
+    )
+    return result, tracer
+
+
+def render_critical_path(result: JobResult) -> str:
+    """The critical-path report of a traced run, as text."""
+    report = critical_path_report(result.trace or [],
+                                  total_time=result.elapsed)
+    return format_report(report)

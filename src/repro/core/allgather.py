@@ -21,19 +21,29 @@ from __future__ import annotations
 
 from repro.core.shared_buffer import SharedBuffer
 from repro.core.sync import SyncPolicy
-from repro.mpi.collectives.registry import CollRequest, policy_of, trace_event
+from repro.mpi.collectives.registry import (
+    CollRequest,
+    phase_begin,
+    phase_end,
+    policy_of,
+    trace_begin,
+    trace_end,
+)
 
 __all__ = ["hy_allgather", "hy_allgatherv"]
 
 
 def _select_hy_allgather(ctx, buf, pipelined):
-    """Pick the bridge-exchange variant and record it in the trace.
+    """Pick the bridge-exchange variant and open its dispatch span.
 
     ``pipelined=True`` is a caller-forced choice (the ablation knob
     predating the registry); ``False``/``None`` delegates to the rank's
     selection policy — the ``shared_window`` descriptor under the
     default tables, ``pipelined_ring`` when forced via
-    ``REPRO_COLL_HY_ALLGATHER`` or preferred by the cost model."""
+    ``REPRO_COLL_HY_ALLGATHER`` or preferred by the cost model.
+
+    Returns ``(pipelined, span)``; the caller closes the span when the
+    collective completes."""
     total = buf.total_nbytes
     comm = ctx.comm
     if pipelined:
@@ -44,8 +54,8 @@ def _select_hy_allgather(ctx, buf, pipelined):
             op="hy_allgather", nbytes=total // max(comm.size, 1), total=total
         )
         name, policy_name = policy.select(comm, req).name, policy.name
-    trace_event(comm, "hy_allgather", name, total, policy_name)
-    return name == "pipelined_ring"
+    span = trace_begin(comm, "hy_allgather", name, total, policy_name)
+    return name == "pipelined_ring", span
 
 
 def hy_allgather(
@@ -74,18 +84,25 @@ def hy_allgather(
     node-sorted layout no packing is ever needed.
     """
     sync = sync or ctx.default_sync
-    pipelined = _select_hy_allgather(ctx, buf, pipelined)
+    pipelined, span = _select_hy_allgather(ctx, buf, pipelined)
+    comm = ctx.comm
     if not ctx.multi_node:
         # Fig 4 lines 29-30 / 37-38: single node → a single barrier makes
         # the buffer consistent.
+        ph = phase_begin(comm, "sync")
         yield from sync.single(ctx)
+        phase_end(comm, ph)
+        trace_end(comm, span)
         return
 
     # Fig 4 line 25 / 34: every on-node rank enters the pre-sync; leaders
     # thereby observe all partitions initialized.
+    ph = phase_begin(comm, "pre_sync")
     yield from sync.pre_exchange(ctx)
+    phase_end(comm, ph)
 
     if ctx.is_leader:
+        ph = phase_begin(comm, "bridge_exchange", buf.total_nbytes)
         payload = buf.node_payload()
         if pack_datatypes and not ctx.layout.is_identity:
             # Pack my node's blocks (one pass) before the exchange.
@@ -114,9 +131,13 @@ def hy_allgather(
             # Unpack everything received into rank order (one pass).
             per_byte = ctx.comm.ctx.machine.spec.network.per_byte_packing
             yield ctx.comm.ctx.engine.timeout(per_byte * received)
+        phase_end(comm, ph)
 
     # Fig 4 line 27 / 35: children wait until leaders finished exchanging.
+    ph = phase_begin(comm, "post_sync")
     yield from sync.post_exchange(ctx)
+    phase_end(comm, ph)
+    trace_end(comm, span)
 
 
 def hy_allgatherv(

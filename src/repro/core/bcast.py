@@ -18,7 +18,14 @@ from __future__ import annotations
 
 from repro.core.shared_buffer import SharedBuffer
 from repro.core.sync import SyncPolicy
-from repro.mpi.collectives.registry import CollRequest, policy_of, trace_event
+from repro.mpi.collectives.registry import (
+    CollRequest,
+    phase_begin,
+    phase_end,
+    policy_of,
+    trace_begin,
+    trace_end,
+)
 
 __all__ = ["hy_bcast"]
 
@@ -39,24 +46,32 @@ def hy_bcast(ctx, buf: SharedBuffer, root: int = 0,
         CollRequest(op="hy_bcast", nbytes=buf.total_nbytes,
                     total=buf.total_nbytes, root=root),
     )
-    trace_event(ctx.comm, "hy_bcast", algo.name, buf.total_nbytes,
-                policy.name)
-    placement = ctx.comm.ctx.placement
-    root_world = ctx.comm.world_rank_of(root)
+    comm = ctx.comm
+    span = trace_begin(comm, "hy_bcast", algo.name, buf.total_nbytes,
+                       policy.name)
+    placement = comm.ctx.placement
+    root_world = comm.world_rank_of(root)
     root_node = placement.node_of(root_world)
     root_is_leader = placement.leader_of(root_node) == root_world
 
     if not root_is_leader:
         # Leader must observe the root's stores before transmitting.
+        ph = phase_begin(comm, "pre_sync")
         yield from sync.pre_exchange(ctx)
+        phase_end(comm, ph)
 
     if ctx.multi_node and ctx.is_leader:
         nbytes = buf.total_nbytes
+        ph = phase_begin(comm, "bridge_exchange", nbytes)
         payload = buf.region_payload(0, nbytes)
         root_bridge = ctx.bridge_rank_of_node(root_node)
         result = yield from ctx.bridge.bcast(payload, root=root_bridge)
         if ctx.node != root_node:
             buf.write_region(0, result)
+        phase_end(comm, ph)
 
     # Fig 6 lines 7/10/13: exactly one sync releases the readers.
+    ph = phase_begin(comm, "release_sync")
     yield from sync.single(ctx)
+    phase_end(comm, ph)
+    trace_end(comm, span)

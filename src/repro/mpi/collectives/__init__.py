@@ -22,7 +22,8 @@ from repro.mpi.collectives.registry import (
     CollRequest,
     bridge_allgatherv as _bridge_allgatherv,
     policy_of,
-    trace_event,
+    trace_begin,
+    trace_end,
 )
 from repro.mpi.collectives.barrier import barrier_shm_flags as _shm_barrier
 from repro.mpi.constants import ReduceOp
@@ -62,11 +63,16 @@ def _vector_overhead(comm, blocks: int):
 
 
 def _select(comm, req: CollRequest):
-    """Pick the algorithm for *req* and record the decision."""
+    """Pick the algorithm for *req* and open its dispatch span.
+
+    Returns ``(algorithm, span)``; the dispatcher closes the span with
+    :func:`~repro.mpi.collectives.registry.trace_end` once the algorithm
+    ran, so the trace records a duration (start + elapsed virtual time)
+    per call rather than an instant."""
     policy = policy_of(comm)
     algo = policy.select(comm, req)
-    trace_event(comm, req.op, algo.name, req.total, policy.name)
-    return algo
+    span = trace_begin(comm, req.op, algo.name, req.total, policy.name)
+    return algo, span
 
 
 # ---------------------------------------------------------------------------
@@ -79,11 +85,12 @@ def dispatch_allgather(comm, payload: Any, tag: int):
     if comm.size == 1:
         return [payload]
     total = nbytes_of(payload) * comm.size
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="allgather", nbytes=nbytes_of(payload),
                           total=total)
     )
     result = yield from algo.fn(comm, payload, tag, total)
+    trace_end(comm, span)
     return result.as_list(comm.size)
 
 
@@ -116,11 +123,12 @@ def dispatch_allgatherv(comm, payload: Any, tag: int,
         return [payload]
     if total is None:
         total = yield from _agree_total(comm, nbytes_of(payload), tag)
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="allgatherv", nbytes=nbytes_of(payload),
                           total=total)
     )
     result = yield from algo.fn(comm, payload, tag, total)
+    trace_end(comm, span)
     return result.as_list(comm.size)
 
 
@@ -142,10 +150,11 @@ def dispatch_bcast(comm, payload: Any, root: int, tag: int):
         return payload
     nbytes = nbytes_of(payload)
     recvbuf = payload if comm.rank != root else None
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="bcast", nbytes=nbytes, total=nbytes, root=root)
     )
     result = yield from algo.fn(comm, payload, root, tag)
+    trace_end(comm, span)
     return _deliver_bcast(recvbuf, result)
 
 
@@ -175,11 +184,12 @@ def dispatch_gather(comm, payload: Any, root: int, tag: int,
     if comm.size == 1:
         return [payload]
     nbytes = nbytes_of(payload)
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="gatherv" if irregular else "gather",
                           nbytes=nbytes, total=nbytes, root=root)
     )
     result = yield from algo.fn(comm, payload, root, tag)
+    trace_end(comm, span)
     if result is None:
         return None
     return result.as_list(comm.size)
@@ -194,10 +204,11 @@ def dispatch_scatter(comm, payloads: list[Any] | None, root: int, tag: int):
         return payloads[0]
     # Selection must be rank-uniform and only the root holds the payload
     # list, so the request is size-independent (as in the old table).
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="scatter", nbytes=0, total=0, root=root)
     )
     result = yield from algo.fn(comm, payloads, root, tag)
+    trace_end(comm, span)
     return result
 
 
@@ -211,10 +222,11 @@ def dispatch_reduce(comm, payload: Any, op: ReduceOp, root: int, tag: int):
     if comm.size == 1:
         return payload
     nbytes = nbytes_of(payload)
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="reduce", nbytes=nbytes, total=nbytes, root=root)
     )
     result = yield from algo.fn(comm, payload, op, root, tag)
+    trace_end(comm, span)
     return result
 
 
@@ -224,10 +236,11 @@ def dispatch_allreduce(comm, payload: Any, op: ReduceOp, tag: int):
     if comm.size == 1:
         return payload
     nbytes = nbytes_of(payload)
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="allreduce", nbytes=nbytes, total=nbytes)
     )
     result = yield from algo.fn(comm, payload, op, tag)
+    trace_end(comm, span)
     return result
 
 
@@ -238,10 +251,11 @@ def dispatch_scan(comm, payload: Any, op: ReduceOp, tag: int):
     if comm.size == 1:
         return payload
     nbytes = nbytes_of(payload)
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="scan", nbytes=nbytes, total=nbytes)
     )
     result = yield from algo.fn(comm, payload, op, tag)
+    trace_end(comm, span)
     return result
 
 
@@ -251,10 +265,11 @@ def dispatch_exscan(comm, payload: Any, op: ReduceOp, tag: int):
     if comm.size == 1:
         return None
     nbytes = nbytes_of(payload)
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="exscan", nbytes=nbytes, total=nbytes)
     )
     result = yield from algo.fn(comm, payload, op, tag)
+    trace_end(comm, span)
     return result
 
 
@@ -264,10 +279,11 @@ def dispatch_reduce_scatter(comm, payload: Any, op: ReduceOp, tag: int):
     if comm.size == 1:
         return payload
     nbytes = nbytes_of(payload)
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="reduce_scatter", nbytes=nbytes, total=nbytes)
     )
     result = yield from algo.fn(comm, payload, op, tag)
+    trace_end(comm, span)
     return result
 
 
@@ -281,8 +297,9 @@ def dispatch_barrier(comm, tag: int):
     per-call software overhead; the shm paths model cheaper entry.)"""
     if comm.size == 1:
         return
-    algo = _select(comm, CollRequest(op="barrier", nbytes=0, total=0))
+    algo, span = _select(comm, CollRequest(op="barrier", nbytes=0, total=0))
     yield from algo.fn(comm, tag)
+    trace_end(comm, span)
 
 
 def dispatch_alltoall(comm, payloads: list[Any], tag: int):
@@ -291,8 +308,9 @@ def dispatch_alltoall(comm, payloads: list[Any], tag: int):
     if comm.size == 1:
         return [payloads[0]]
     per_pair = max(nbytes_of(p) for p in payloads)
-    algo = _select(
+    algo, span = _select(
         comm, CollRequest(op="alltoall", nbytes=per_pair, total=per_pair)
     )
     result = yield from algo.fn(comm, payloads, tag)
+    trace_end(comm, span)
     return result

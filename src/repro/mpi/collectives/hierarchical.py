@@ -103,10 +103,13 @@ def hier_allgather(comm, payload: Any, tag: int, select_bridge,
     by parent comm ranks.
     """
     from repro.mpi.collectives.gather import gather_binomial
+    from repro.mpi.collectives.registry import phase_begin, phase_end
 
     shm, bridge = yield from hier_comms(comm)
     # Stage 1: gather blocks at the node leader (shared-memory p2p).
+    ph = phase_begin(comm, "on_node_gather", nbytes_of(payload))
     local = yield from gather_binomial(shm, payload, 0, tag)
+    phase_end(comm, ph)
     if shm.rank == 0:
         node_blocks = BlockSet(
             {
@@ -118,7 +121,9 @@ def hier_allgather(comm, payload: Any, tag: int, select_bridge,
         node_blocks = None
     # Stage 2: leaders exchange aggregated node blocks.
     if bridge is not None and bridge.size > 1:
+        ph = phase_begin(comm, "bridge_exchange", node_blocks.nbytes)
         exchanged = yield from select_bridge(bridge, node_blocks, tag)
+        phase_end(comm, ph)
         full = BlockSet()
         for node_set in exchanged.blocks.values():
             full.merge(node_set)
@@ -130,7 +135,9 @@ def hier_allgather(comm, payload: Any, tag: int, select_bridge,
     if total_nbytes is None:
         total_nbytes = nbytes_of(payload) * comm.size
     shm_bcast = _select_shm_bcast(shm, total_nbytes)
+    ph = phase_begin(comm, "on_node_bcast", total_nbytes)
     full = yield from shm_bcast(shm, full, 0, tag + 1)
+    phase_end(comm, ph)
     return full
 
 
@@ -140,6 +147,8 @@ def hier_bcast(comm, payload: Any, root: int, tag: int, bridge_bcast) -> Any:
     ``bridge_bcast(bridge, payload, root_bridge_rank, tag)`` is the flat
     algorithm for the inter-leader stage.
     """
+    from repro.mpi.collectives.registry import phase_begin, phase_end
+
     shm, bridge = yield from hier_comms(comm)
     placement = comm.ctx.placement
     root_world = comm.world_rank_of(root)
@@ -150,9 +159,13 @@ def hier_bcast(comm, payload: Any, root: int, tag: int, bridge_bcast) -> Any:
 
     # Stage 0: root hands the message to its node leader if distinct.
     if i_am_root and shm.rank != 0:
+        ph = phase_begin(comm, "root_to_leader", nbytes_of(payload))
         yield from shm.send(payload, 0, tag=tag)
+        phase_end(comm, ph)
     if shm.rank == 0 and root_on_my_node and root_shm_rank != 0:
+        ph = phase_begin(comm, "root_to_leader")
         payload = yield from shm.recv(source=root_shm_rank, tag=tag)
+        phase_end(comm, ph)
     # Stage 1: inter-leader broadcast, rooted at the root-node leader.
     if bridge is not None and bridge.size > 1:
         root_bridge_rank = next(
@@ -160,17 +173,22 @@ def hier_bcast(comm, payload: Any, root: int, tag: int, bridge_bcast) -> Any:
             for w in bridge.group.world_ranks()
             if placement.node_of(w) == root_node
         )
+        ph = phase_begin(comm, "bridge_exchange", nbytes_of(payload))
         payload = yield from bridge_bcast(bridge, payload, root_bridge_rank, tag)
+        phase_end(comm, ph)
     # Stage 2: on-node broadcast from the leader (size known locally:
     # every rank passed a same-sized buffer, as MPI_Bcast requires).
     shm_bcast = _select_shm_bcast(shm, nbytes_of(payload))
+    ph = phase_begin(comm, "on_node_bcast", nbytes_of(payload))
     payload = yield from shm_bcast(shm, payload, 0, tag + 1)
+    phase_end(comm, ph)
     return payload
 
 
 def hier_reduce(comm, payload: Any, op, root: int, tag: int):
     """Leader-based reduce: on-node reduce → inter-leader reduce → root."""
     from repro.mpi.collectives.reduce import reduce_binomial
+    from repro.mpi.collectives.registry import phase_begin, phase_end
 
     shm, bridge = yield from hier_comms(comm)
     placement = comm.ctx.placement
@@ -181,7 +199,9 @@ def hier_reduce(comm, payload: Any, op, root: int, tag: int):
     root_on_my_node = shm.group.contains(root_world)
 
     # Stage 1: on-node reduce to the shm leader.
+    ph = phase_begin(comm, "on_node_reduce", nbytes_of(payload))
     partial = yield from reduce_binomial(shm, payload, op, 0, tag)
+    phase_end(comm, ph)
     # Stage 2: inter-leader reduce to the root-node leader.
     result = None
     if bridge is not None:
@@ -191,19 +211,25 @@ def hier_reduce(comm, payload: Any, op, root: int, tag: int):
                 for w in bridge.group.world_ranks()
                 if placement.node_of(w) == root_node
             )
+            ph = phase_begin(comm, "bridge_exchange", nbytes_of(partial))
             result = yield from reduce_binomial(
                 bridge, partial, op, root_bridge, tag
             )
+            phase_end(comm, ph)
         else:
             result = partial
     # Stage 3: forward to the true root if it is not its node's leader.
     if root_shm_rank == 0 and root_on_my_node:
         return result if i_am_root else None
     if shm.rank == 0 and root_on_my_node:
+        ph = phase_begin(comm, "root_forward", nbytes_of(result))
         yield from shm.send(result, root_shm_rank, tag=tag + 2)
+        phase_end(comm, ph)
         return None
     if i_am_root:
+        ph = phase_begin(comm, "root_forward")
         result = yield from shm.recv(source=0, tag=tag + 2)
+        phase_end(comm, ph)
         return result
     return None
 
@@ -212,13 +238,20 @@ def hier_allreduce(comm, payload: Any, op, tag: int, bridge_allreduce):
     """Leader-based allreduce: on-node reduce → bridge allreduce →
     on-node broadcast."""
     from repro.mpi.collectives.reduce import reduce_binomial
+    from repro.mpi.collectives.registry import phase_begin, phase_end
 
     shm, bridge = yield from hier_comms(comm)
+    ph = phase_begin(comm, "on_node_reduce", nbytes_of(payload))
     partial = yield from reduce_binomial(shm, payload, op, 0, tag)
+    phase_end(comm, ph)
     if bridge is not None and bridge.size > 1:
+        ph = phase_begin(comm, "bridge_exchange", nbytes_of(partial))
         partial = yield from bridge_allreduce(bridge, partial, op, tag)
+        phase_end(comm, ph)
     shm_bcast = _select_shm_bcast(shm, nbytes_of(payload))
+    ph = phase_begin(comm, "on_node_bcast", nbytes_of(payload))
     result = yield from shm_bcast(shm, partial, 0, tag + 1)
+    phase_end(comm, ph)
     return result
 
 
@@ -232,6 +265,7 @@ def multileader_allgather(comm, payload: Any, tag: int, leaders_per_node: int,
     """
     from repro.mpi.collectives.allgather import allgather_ring
     from repro.mpi.collectives.gather import gather_binomial
+    from repro.mpi.collectives.registry import phase_begin, phase_end
 
     cache = comm.hier_cache
     key = f"ml{leaders_per_node}"
@@ -272,7 +306,9 @@ def multileader_allgather(comm, payload: Any, tag: int, leaders_per_node: int,
     shm, slice_comm, bridge, leaders_comm, k = cache[key]
 
     # Stage 1: gather within each slice.
+    ph = phase_begin(comm, "on_node_gather", nbytes_of(payload))
     local = yield from gather_binomial(slice_comm, payload, 0, tag)
+    phase_end(comm, ph)
     if slice_comm.rank == 0:
         slice_blocks = BlockSet(
             {
@@ -284,7 +320,9 @@ def multileader_allgather(comm, payload: Any, tag: int, leaders_per_node: int,
         slice_blocks = None
     # Stage 2: each leader exchanges on its own bridge.
     if bridge is not None and bridge.size > 1:
+        ph = phase_begin(comm, "bridge_exchange", slice_blocks.nbytes)
         exchanged = yield from select_bridge(bridge, slice_blocks, tag)
+        phase_end(comm, ph)
         part = BlockSet()
         for node_set in exchanged.blocks.values():
             part.merge(node_set)
@@ -294,7 +332,9 @@ def multileader_allgather(comm, payload: Any, tag: int, leaders_per_node: int,
         part = None
     # Stage 3: leaders merge partial results on-node.
     if leaders_comm is not None and leaders_comm.size > 1:
+        ph = phase_begin(comm, "leader_merge", part.nbytes)
         shared = yield from allgather_ring(leaders_comm, part, tag + 1)
+        phase_end(comm, ph)
         part = BlockSet()
         for piece in shared.blocks.values():
             part.merge(piece)
@@ -303,5 +343,7 @@ def multileader_allgather(comm, payload: Any, tag: int, leaders_per_node: int,
     # recvcounts make possible in the real code.)
     total = nbytes_of(payload) * comm.size
     shm_bcast = _select_shm_bcast(slice_comm, total)
+    ph = phase_begin(comm, "on_node_bcast", total)
     full = yield from shm_bcast(slice_comm, part, 0, tag + 2)
+    phase_end(comm, ph)
     return full

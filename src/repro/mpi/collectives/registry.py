@@ -115,6 +115,10 @@ __all__ = [
     "resolve_policy",
     "policy_of",
     "trace_event",
+    "trace_begin",
+    "trace_end",
+    "phase_begin",
+    "phase_end",
     "bridge_allgatherv",
     "ENV_POLICY",
     "ENV_OP_PREFIX",
@@ -544,22 +548,72 @@ def policy_of(comm) -> SelectionPolicy:
     return getattr(comm.ctx, "policy", None) or DEFAULT_POLICY
 
 
+def _dispatch_record(comm, op: str, algo: str, nbytes: int,
+                     policy: str | None) -> dict:
+    rec = {
+        "t": comm.ctx.engine.now,
+        "rank": comm.ctx.world_rank,
+        "comm": comm.name,
+        "op": op,
+        "algo": algo,
+        "nbytes": nbytes,
+    }
+    if policy is not None:
+        rec["policy"] = policy
+    rec["kind"] = "dispatch"
+    return rec
+
+
 def trace_event(comm, op: str, algo: str, nbytes: int,
                 policy: str | None = None) -> None:
-    """Record one dispatch decision in the job trace (when enabled)."""
+    """Record one dispatch decision as an instant event (when enabled).
+
+    Kept for backward compatibility; the dispatch layer now records
+    duration spans via :func:`trace_begin`/:func:`trace_end`."""
     tracer = comm.ctx.trace
     if tracer is not None:
-        rec = {
-            "t": comm.ctx.engine.now,
-            "rank": comm.ctx.world_rank,
-            "comm": comm.name,
-            "op": op,
-            "algo": algo,
-            "nbytes": nbytes,
-        }
-        if policy is not None:
-            rec["policy"] = policy
-        tracer.append(rec)
+        tracer.append(_dispatch_record(comm, op, algo, nbytes, policy))
+
+
+def trace_begin(comm, op: str, algo: str, nbytes: int,
+                policy: str | None = None) -> dict | None:
+    """Open the dispatch span of one collective call (when enabled).
+
+    Returns the span record to pass to :func:`trace_end` after the
+    algorithm ran, or None when tracing is off."""
+    tracer = comm.ctx.trace
+    if tracer is None:
+        return None
+    return tracer.begin(_dispatch_record(comm, op, algo, nbytes, policy))
+
+
+def trace_end(comm, span: dict | None) -> None:
+    """Close a span opened by :func:`trace_begin`/:func:`phase_begin`."""
+    if span is not None:
+        comm.ctx.trace.end(span, comm.ctx.engine.now)
+
+
+def phase_begin(comm, phase: str, nbytes: int = 0) -> dict | None:
+    """Open a nested phase span of a composite collective.
+
+    Recorded only at trace detail ``"phase"`` or finer; the tracer links
+    it to the innermost open span of the same rank (normally the
+    dispatch span of the enclosing collective)."""
+    tracer = comm.ctx.trace
+    if tracer is None or not tracer.wants("phase"):
+        return None
+    return tracer.begin({
+        "t": comm.ctx.engine.now,
+        "rank": comm.ctx.world_rank,
+        "comm": comm.name,
+        "kind": "phase",
+        "phase": phase,
+        "nbytes": nbytes,
+    })
+
+
+#: Closing a phase span is identical to closing a dispatch span.
+phase_end = trace_end
 
 
 # ---------------------------------------------------------------------------
@@ -699,14 +753,20 @@ def _run_barrier_smp(comm, tag):
     tuning = comm.ctx.tuning
     shm, bridge = yield from hier.hier_comms(comm)
     if shm.size > 1:
+        span = phase_begin(comm, "on_node_arrive")
         yield from barrier_shm_flags(shm, tag)
+        phase_end(comm, span)
     if bridge is not None and bridge.size > 1:
+        span = phase_begin(comm, "bridge_exchange")
         yield from barrier_dissemination(bridge, tag)
+        phase_end(comm, span)
     if shm.size > 1:
         # Release phase: one flag store observed by each child.
+        span = phase_begin(comm, "on_node_release")
         yield from barrier_shm_flags(
             shm, tag, rounds_cost=tuning.shm_barrier_flag, phase="release"
         )
+        phase_end(comm, span)
 
 
 def _run_barrier_dissemination(comm, tag):

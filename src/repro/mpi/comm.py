@@ -26,6 +26,7 @@ from repro.mpi.constants import (
     UNDEFINED,
     ReduceOp,
 )
+from repro.mpi.datatypes import nbytes_of
 from repro.mpi.errors import MPIError
 from repro.mpi.group import Group
 from repro.mpi.p2p import Request, Status
@@ -166,12 +167,33 @@ class Comm:
         return self._ctx.placement.node_of(self.world_rank_of(comm_rank))
 
     # -- point-to-point ------------------------------------------------------
+    def _p2p_begin(self, op: str, peer: int, nbytes: int):
+        """Open a p2p wait span (trace detail ``"p2p"`` only)."""
+        tracer = self._ctx.trace
+        if tracer is None or not tracer.wants("p2p"):
+            return None
+        return tracer.begin({
+            "t": self._ctx.engine.now,
+            "rank": self._ctx.world_rank,
+            "comm": self.name,
+            "kind": "p2p",
+            "op": op,
+            "peer": peer,
+            "nbytes": nbytes,
+        })
+
+    def _p2p_end(self, span) -> None:
+        if span is not None:
+            self._ctx.trace.end(span, self._ctx.engine.now)
+
     def send(self, payload: Any, dest: int, tag: int = 0):
         """Blocking send (coroutine)."""
         if dest == PROC_NULL:
             return
+        span = self._p2p_begin("send", dest, nbytes_of(payload))
         req = self.isend(payload, dest, tag)
         yield req.event
+        self._p2p_end(span)
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
         """Non-blocking send; returns a :class:`Request`."""
@@ -201,8 +223,12 @@ class Comm:
         """Blocking receive returning ``(payload, Status)``."""
         if source == PROC_NULL:
             return None, Status(source=PROC_NULL, tag=tag, nbytes=0)
+        span = self._p2p_begin("recv", source, 0)
         req = self.irecv(buf, source, tag)
         payload, status = yield req.event
+        if span is not None:
+            span["nbytes"] = status.nbytes
+        self._p2p_end(span)
         return payload, status
 
     def irecv(
@@ -234,10 +260,12 @@ class Comm:
         recvtag: int = ANY_TAG,
     ):
         """Simultaneous send and receive (coroutine); returns payload."""
+        span = self._p2p_begin("sendrecv", dest, nbytes_of(sendpayload))
         rreq = self.irecv(recvbuf, source, recvtag)
         sreq = self.isend(sendpayload, dest, sendtag)
         results = yield AllOf([rreq.event, sreq.event])
         payload, _status = results[0]
+        self._p2p_end(span)
         return payload
 
     @staticmethod

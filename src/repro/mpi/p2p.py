@@ -84,14 +84,18 @@ class _SendRec:
 
 
 class _RecvRec:
-    __slots__ = ("source", "tag", "buf", "event", "seq")
+    __slots__ = ("source", "tag", "buf", "event", "seq", "posted",
+                 "dst_world")
 
-    def __init__(self, source: int, tag: int, buf: Any, event: Event, seq: int):
+    def __init__(self, source: int, tag: int, buf: Any, event: Event,
+                 seq: int, posted: float = 0.0, dst_world: int = -1):
         self.source = source
         self.tag = tag
         self.buf = buf
         self.event = event
         self.seq = seq
+        self.posted = posted
+        self.dst_world = dst_world
 
 
 @dataclass
@@ -105,9 +109,13 @@ class _MatchQueue:
 class MessageEngine:
     """Owns message matching and transfer scheduling for one job."""
 
-    def __init__(self, engine: Engine, machine: Machine):
+    def __init__(self, engine: Engine, machine: Machine, tracer=None):
         self.engine = engine
         self.machine = machine
+        # At trace detail "p2p" the match step records receive queue
+        # waits (time between posting a receive and the matching send).
+        self.tracer = tracer if tracer is not None and tracer.wants("p2p") \
+            else None
         self._queues: dict[tuple[int, int], _MatchQueue] = {}
         self._seq = 0
         self.sent_messages = 0
@@ -234,7 +242,8 @@ class MessageEngine:
         ev = Event(
             self.engine, name=f"recv d{dst_world} src={source} tag={tag}"
         )
-        rec = _RecvRec(source, tag, buf, ev, self._next_seq())
+        rec = _RecvRec(source, tag, buf, ev, self._next_seq(),
+                       posted=self.engine.now, dst_world=dst_world)
         q = self._queue(comm_id, dst_world)
         q.pending_recvs.append(rec)
         self._try_match(q)
@@ -267,6 +276,15 @@ class MessageEngine:
                     break
 
     def _start_delivery(self, send: _SendRec, recv: _RecvRec) -> None:
+        if self.tracer is not None:
+            now = self.engine.now
+            self.tracer.append({
+                "t": now,
+                "rank": recv.dst_world,
+                "kind": "queue_wait",
+                "wait": now - recv.posted,
+                "nbytes": send.nbytes,
+            })
         if not send.matched.triggered:
             send.matched.succeed()
         self.engine.spawn(

@@ -27,6 +27,11 @@ alltoall               this rank's total send volume (sum over peers)
 
 Non-blocking collectives record under their own ``i``-prefixed op names;
 their time is the issue-to-completion span of the background proc.
+
+The dispatch spans of the trace layer (:mod:`repro.trace`) carry the
+same byte conventions — ``repro.trace.summarize`` totals and the
+profiler's per-op byte sums agree for every regular collective, which
+the test suite asserts.
 """
 
 from __future__ import annotations

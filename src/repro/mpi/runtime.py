@@ -35,6 +35,7 @@ from repro.mpi.p2p import MessageEngine
 from repro.mpi.profiler import CommProfile, aggregate_profiles
 from repro.mpi.shm import win_allocate_shared
 from repro.simulator import Engine, Event
+from repro.trace import Tracer
 
 import numpy as np
 
@@ -71,7 +72,7 @@ class RankContext:
         self.data_mode = job.payload_mode == "data"
         self.tuning = job.tuning
         self.policy = job.policy
-        self.trace = job.trace_log if job.trace else None
+        self.trace = job.tracer
         self.world: Comm = None  # type: ignore[assignment] - set by MPIJob
         self.rng = np.random.default_rng(job.seed + world_rank)
         self.profile = CommProfile()
@@ -194,7 +195,7 @@ class MPIJob:
         payload_mode: str = "data",
         tuning: CollectiveTuning | None = None,
         policy: SelectionPolicy | str | None = None,
-        trace: bool = False,
+        trace: bool | str | Tracer = False,
         link_contention: bool = False,
         seed: int = 12345,
         noise: NoiseModel | None = None,
@@ -217,20 +218,34 @@ class MPIJob:
                 f"nprocs={nprocs}"
             )
         self.machine.bind_placement(self.placement)
-        self.msg_engine = MessageEngine(self.engine, self.machine)
+        # trace: False -> off; True -> dispatch spans; a detail-level name
+        # ("dispatch"/"phase"/"p2p") or a Tracer -> that configuration.
+        if isinstance(trace, Tracer):
+            self.tracer: Tracer | None = trace
+        elif isinstance(trace, str):
+            self.tracer = Tracer(detail=trace)
+        else:
+            self.tracer = Tracer() if trace else None
+        self.msg_engine = MessageEngine(
+            self.engine, self.machine, tracer=self.tracer
+        )
         self.payload_mode = payload_mode
         self.tuning = tuning or tuning_for_machine(spec.name)
         # None -> environment-driven (REPRO_COLL_POLICY / REPRO_COLL_<OP>);
         # a name or SelectionPolicy instance overrides the environment.
         self.policy = resolve_policy(policy)
         self.trace = trace
-        self.trace_log: list[dict] = []
         self.seed = seed
         self.noise = noise
         self.program = program
         self.program_args = program_args
         self.program_kwargs = program_kwargs or {}
         self._comm_ids = 0
+
+    @property
+    def trace_log(self) -> list[dict]:
+        """The raw trace records (empty when tracing is off)."""
+        return self.tracer.records if self.tracer else []
 
     def next_comm_id(self) -> int:
         """Allocate a runtime-unique communicator id."""
@@ -275,7 +290,7 @@ class MPIJob:
             intra_bytes=self.machine.intra_bytes,
             network_messages=net.messages,
             network_bytes=net.bytes,
-            trace=self.trace_log if self.trace else None,
+            trace=self.tracer.records if self.tracer else None,
             placement=self.placement,
             profiles=[ctx.profile for ctx in contexts],
         )

@@ -150,5 +150,20 @@ def win_allocate_shared(comm, nbytes: int):
         shared = _WindowShared(node, sizes, data_mode)
         return {r: shared for r in values}
 
+    # The gate is a rendezvous over all members: at trace detail "p2p"
+    # the wait for the slowest member shows up as its own span.
+    tracer = comm.ctx.trace
+    span = None
+    if tracer is not None and tracer.wants("p2p"):
+        span = tracer.begin({
+            "t": comm.ctx.engine.now,
+            "rank": comm.ctx.world_rank,
+            "comm": comm.name,
+            "kind": "shm",
+            "op": "win_allocate",
+            "nbytes": int(nbytes),
+        })
     shared = yield from comm._gate("win_allocate_shared", int(nbytes), reducer)
+    if span is not None:
+        tracer.end(span, comm.ctx.engine.now)
     return SharedWindow(shared, comm, comm.rank)

@@ -17,7 +17,9 @@ Design notes
 * **Determinism.**  The ready queue is a binary heap keyed on
   ``(time, seq)`` where ``seq`` is a global insertion counter, so
   simultaneous events always fire in schedule order.  Re-running the same
-  program yields the identical trace.
+  program yields the identical trace — every layer above relies on this,
+  up to the observability span streams (:mod:`repro.trace`), which the
+  tests require to be *bit-identical* across re-runs.
 * **Failure propagation.**  An event may *fail* with an exception; waiting
   processes get the exception thrown at the yield point, which makes
   simulated error paths testable.

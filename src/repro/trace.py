@@ -1,21 +1,49 @@
-"""Trace inspection and export utilities.
+"""Span-based tracing: collection (:class:`Tracer`) and export utilities.
 
-Jobs run with ``trace=True`` collect one record per collective dispatch
-(time, rank, communicator, operation, algorithm, selection policy,
-bytes).  This module turns those records into:
+Jobs run with ``trace=True`` (or ``trace="phase"`` / a :class:`Tracer`
+instance) collect structured records in virtual time:
+
+* **dispatch spans** — one per collective call (start time, duration,
+  rank, communicator, operation, algorithm, selection policy, bytes);
+* **phase spans** — nested children of composite (hierarchical /
+  hybrid) collectives: on-node gather/copy-in, bridge exchange,
+  barrier/flag sync, on-node broadcast/copy-out (detail ``"phase"``);
+* **p2p spans and queue waits** — individual send/recv waits and
+  receive matching delays (detail ``"p2p"``);
+* **instant events** — the pre-span record shape, still accepted
+  everywhere for backward compatibility.
+
+This module turns those records into:
 
 * :func:`summarize` — per-(op, algo) aggregate counts/bytes;
 * :func:`to_chrome_trace` — a ``chrome://tracing`` / Perfetto compatible
-  JSON object (instant events per dispatch, one row per rank);
+  JSON object (duration events with proper nesting, one row per rank);
 * :func:`format_timeline` — a quick ASCII timeline for terminals.
+
+Critical-path attribution lives in :mod:`repro.analysis.critical_path`;
+counter/histogram export lives in :mod:`repro.metrics`.
+
+Determinism: the simulation engine replays identically, spans are
+appended in begin order, and span ids are a plain counter — so the same
+program always yields a bit-identical span stream (the property the
+regression tests serialize and compare).
 
 Example
 -------
-::
-
-    result = run_program(spec, 8, program, trace=True)
-    print(format_timeline(result.trace))
-    json.dump(to_chrome_trace(result.trace), open("trace.json", "w"))
+>>> tracer = Tracer(detail="phase")
+>>> parent = tracer.begin({"t": 0.0, "rank": 0, "comm": "world",
+...                        "op": "allgather", "algo": "ring",
+...                        "nbytes": 64, "kind": "dispatch"})
+>>> child = tracer.begin({"t": 0.0, "rank": 0, "comm": "world",
+...                       "kind": "phase", "phase": "bridge_exchange",
+...                       "nbytes": 64})
+>>> child["parent"] == parent["sid"] and child["depth"] == 1
+True
+>>> tracer.end(child, 1.5e-6); tracer.end(parent, 2.0e-6)
+>>> summarize(tracer.records)
+{('allgather', 'ring'): {'calls': 1, 'bytes': 64}}
+>>> [e["ph"] for e in to_chrome_trace(tracer.records)["traceEvents"]]
+['X', 'X', 'M']
 """
 
 from __future__ import annotations
@@ -25,52 +53,172 @@ from collections import defaultdict
 from typing import Any
 
 __all__ = [
+    "Tracer",
+    "DETAIL_LEVELS",
     "summarize",
     "to_chrome_trace",
     "format_timeline",
     "save_chrome_trace",
 ]
 
+#: Ordered trace detail levels: each level includes the previous ones.
+DETAIL_LEVELS = {"dispatch": 0, "phase": 1, "p2p": 2}
+
+
+class Tracer:
+    """Collects trace records for one job.
+
+    Parameters
+    ----------
+    detail:
+        ``"dispatch"`` (default) records one span per collective call;
+        ``"phase"`` adds nested spans for the internal stages of
+        composite algorithms; ``"p2p"`` additionally records individual
+        point-to-point waits and receive queue delays.
+
+    The tracer exposes the list API the pre-span trace log had
+    (``append`` for instant records, iteration over ``records``), plus
+    :meth:`begin`/:meth:`end` for duration spans.  Span records carry:
+
+    ``sid``
+        unique span id (a counter — deterministic across runs);
+    ``parent``
+        ``sid`` of the innermost open span on the same rank, or None;
+    ``depth``
+        nesting depth (0 = top level);
+    ``dur``
+        duration in virtual seconds (None while the span is open).
+    """
+
+    __slots__ = ("detail", "records", "_level", "_next_sid", "_open")
+
+    def __init__(self, detail: str = "dispatch"):
+        try:
+            self._level = DETAIL_LEVELS[detail]
+        except KeyError:
+            known = ", ".join(DETAIL_LEVELS)
+            raise ValueError(
+                f"unknown trace detail {detail!r}; known: {known}"
+            ) from None
+        self.detail = detail
+        self.records: list[dict] = []
+        self._next_sid = 0
+        self._open: dict[int, list[dict]] = {}
+
+    def wants(self, level: str) -> bool:
+        """True when records of *level* should be collected."""
+        return DETAIL_LEVELS[level] <= self._level
+
+    def append(self, rec: dict) -> None:
+        """Record one instant event (the pre-span record shape)."""
+        self.records.append(rec)
+
+    def begin(self, rec: dict) -> dict:
+        """Open a duration span; *rec* must carry ``t`` and ``rank``.
+
+        The span is appended to :attr:`records` immediately (stream
+        order = begin order) with ``dur=None`` until :meth:`end`.
+        """
+        self._next_sid += 1
+        stack = self._open.setdefault(rec["rank"], [])
+        rec["sid"] = self._next_sid
+        rec["parent"] = stack[-1]["sid"] if stack else None
+        rec["depth"] = len(stack)
+        rec["dur"] = None
+        stack.append(rec)
+        self.records.append(rec)
+        return rec
+
+    def end(self, rec: dict, t: float) -> None:
+        """Close a span opened by :meth:`begin` at virtual time *t*."""
+        rec["dur"] = t - rec["t"]
+        stack = self._open.get(rec["rank"], [])
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is rec:
+                del stack[i]
+                break
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"Tracer(detail={self.detail!r}, records={len(self.records)})"
+
+
+def _kind(rec: dict) -> str:
+    """Record kind; instant records predating spans count as dispatch."""
+    return rec.get("kind", "dispatch")
+
 
 def summarize(trace: list[dict]) -> dict[tuple[str, str], dict]:
-    """Aggregate trace records by (operation, algorithm).
+    """Aggregate dispatch records by (operation, algorithm).
 
-    Returns ``{(op, algo): {"calls": n, "bytes": total}}``.
+    Returns ``{(op, algo): {"calls": n, "bytes": total}}``.  Phase and
+    p2p records are excluded — one collective call contributes exactly
+    once, and its byte count follows the profiler conventions of
+    :mod:`repro.mpi.profiler` (the dispatch layer records ``req.total``).
     """
     out: dict[tuple[str, str], dict] = defaultdict(
         lambda: {"calls": 0, "bytes": 0}
     )
     for rec in trace:
+        if _kind(rec) != "dispatch":
+            continue
         key = (rec["op"], rec["algo"])
         out[key]["calls"] += 1
         out[key]["bytes"] += rec.get("nbytes", 0)
     return dict(out)
 
 
-def to_chrome_trace(trace: list[dict]) -> dict:
-    """Convert dispatch records to the Chrome trace-event JSON format.
+def _event_name(rec: dict) -> str:
+    kind = _kind(rec)
+    if kind == "dispatch":
+        return f"{rec['op']}:{rec['algo']}"
+    if kind == "phase":
+        return rec["phase"]
+    if kind == "p2p":
+        return f"p2p.{rec['op']}"
+    if kind == "shm":
+        return f"shm.{rec['op']}"
+    return kind
 
-    Each record becomes an instant event on its rank's row; load the
-    result in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+def to_chrome_trace(trace: list[dict]) -> dict:
+    """Convert trace records to the Chrome trace-event JSON format.
+
+    Duration records (spans with a closed ``dur``) become complete
+    (``"ph": "X"``) events; instant records (and spans left open by a
+    crashed run) become thread-scoped instant (``"ph": "i"``) events.
+    One row (``tid``) per rank, metadata rows naming each rank last.
+    Load the result in ``chrome://tracing`` or https://ui.perfetto.dev.
     Timestamps are microseconds (the format's convention).
     """
     events: list[dict[str, Any]] = []
     for rec in trace:
-        events.append(
-            {
-                "name": f"{rec['op']}:{rec['algo']}",
-                "ph": "i",           # instant event
-                "s": "t",            # thread scoped
-                "ts": rec["t"] * 1e6,
-                "pid": 0,
-                "tid": rec["rank"],
-                "args": {
-                    "comm": rec.get("comm", "?"),
-                    "nbytes": rec.get("nbytes", 0),
-                    "policy": rec.get("policy", "table"),
-                },
-            }
-        )
+        args = {
+            k: rec[k]
+            for k in ("comm", "nbytes", "policy", "phase", "wait",
+                      "sid", "parent", "peer")
+            if k in rec
+        }
+        args.setdefault("kind", _kind(rec))
+        event: dict[str, Any] = {
+            "name": _event_name(rec),
+            "ts": rec["t"] * 1e6,
+            "pid": 0,
+            "tid": rec["rank"],
+            "args": args,
+        }
+        if rec.get("dur") is not None:
+            event["ph"] = "X"
+            event["dur"] = rec["dur"] * 1e6
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread scoped
+        events.append(event)
     ranks = sorted({rec["rank"] for rec in trace})
     for rank in ranks:
         events.append(
@@ -95,23 +243,28 @@ def format_timeline(trace: list[dict], width: int = 72,
                     max_rows: int = 40) -> str:
     """ASCII timeline: one line per record, bar position = virtual time.
 
-    Intended for quick eyeballing of collective phases in a terminal.
+    Records are sorted by ``(t, rank)`` first, so multi-rank timelines
+    read chronologically even though the raw stream is in begin order;
+    truncation to *max_rows* keeps the earliest records.  Span records
+    show their duration; instant records a bare marker.
     """
     if not trace:
         return "(empty trace)"
-    t_max = max(rec["t"] for rec in trace) or 1.0
+    ordered = sorted(trace, key=lambda rec: (rec["t"], rec["rank"]))
+    t_max = max(rec["t"] for rec in ordered) or 1.0
     lines = [
-        f"{'t(us)':>10}  {'rank':>4}  {'op:algo':<32} timeline",
+        f"{'t(us)':>10}  {'dur(us)':>9}  {'rank':>4}  {'event':<32} timeline",
     ]
-    shown = trace[:max_rows]
+    shown = ordered[:max_rows]
     for rec in shown:
         pos = int(rec["t"] / t_max * (width - 1)) if t_max else 0
         bar = "." * pos + "|"
-        label = f"{rec['op']}:{rec['algo']}"
+        dur = rec.get("dur")
+        dur_s = f"{dur * 1e6:>9.2f}" if dur is not None else f"{'-':>9}"
         lines.append(
-            f"{rec['t'] * 1e6:>10.2f}  {rec['rank']:>4}  "
-            f"{label:<32} {bar}"
+            f"{rec['t'] * 1e6:>10.2f}  {dur_s}  {rec['rank']:>4}  "
+            f"{_event_name(rec):<32} {bar}"
         )
-    if len(trace) > max_rows:
-        lines.append(f"... (+{len(trace) - max_rows} more records)")
+    if len(ordered) > max_rows:
+        lines.append(f"... (+{len(ordered) - max_rows} more records)")
     return "\n".join(lines)
