@@ -68,6 +68,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress lines"
     )
     parser.add_argument(
+        "--reps", type=int, metavar="N",
+        help=(
+            "timed repetitions per OSU measurement (default 1; the "
+            "simulator is deterministic, so more reps only average away "
+            "the paper's measurement protocol, not noise)"
+        ),
+    )
+    parser.add_argument(
+        "--warmup", type=int, metavar="N",
+        help="warm-up repetitions excluded from timing (default 1)",
+    )
+    parser.add_argument(
         "--policy", choices=("table", "cost_model"),
         help=(
             "collective selection policy for all runs "
@@ -214,11 +226,25 @@ def main(argv: list[str] | None = None) -> int:
     except (ValueError, KeyError) as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    if (args.reps is not None and args.reps < 1) or (
+            args.warmup is not None and args.warmup < 0):
+        print("--reps must be >= 1 and --warmup >= 0", file=sys.stderr)
+        return 2
     ids = sorted(FIGURES) if args.all else [args.figure]
     outputs = []
     report_pairs = []
     saved = {k: os.environ.get(k) for k in selection_env}
     os.environ.update(selection_env)
+    # The figure measure functions build their OSU programs internally,
+    # so --reps/--warmup override the module defaults for the duration
+    # of the runs (restored below).
+    from repro.bench import osu as _osu
+
+    saved_reps, saved_warmup = _osu.DEFAULT_REPS, _osu.DEFAULT_WARMUP
+    if args.reps is not None:
+        _osu.DEFAULT_REPS = args.reps
+    if args.warmup is not None:
+        _osu.DEFAULT_WARMUP = args.warmup
     try:
         try:
             # Validate the merged REPRO_COLL_* environment (including
@@ -240,6 +266,7 @@ def main(argv: list[str] | None = None) -> int:
             outputs.append(text)
             report_pairs.append((result, figure.paper_claim))
     finally:
+        _osu.DEFAULT_REPS, _osu.DEFAULT_WARMUP = saved_reps, saved_warmup
         for key, old in saved.items():
             if old is None:
                 os.environ.pop(key, None)

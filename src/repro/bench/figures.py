@@ -175,7 +175,7 @@ def _fig11_measure(block: int, point: dict, mode: str) -> dict:
         result = run_program(
             spec, None, summa_program,
             placement=placement,
-            payload_mode="model",
+            payload="cost-only",
             program_kwargs={"config": cfg},
         )
         out[key] = _MS * max(r["total"] for r in result.returns)
@@ -208,7 +208,7 @@ def _fig12_measure(point: dict, mode: str) -> dict:
         result = run_program(
             spec, None, bpmf_program,
             placement=placement,
-            payload_mode="model",
+            payload="cost-only",
             program_kwargs={"config": cfg},
         )
         out[key] = _MS * max(r["total"] for r in result.returns)
@@ -235,7 +235,7 @@ def _abl_sync_measure(point: dict, mode: str) -> dict:
         result = run_program(
             spec, None, hybrid_allgather_program,
             placement=placement,
-            payload_mode="model",
+            payload="cost-only",
             program_kwargs={"nbytes_per_rank": nbytes, "sync": sync},
         )
         out[f"{label}_us"] = _US * max(result.returns)
@@ -264,7 +264,7 @@ def _abl_pipeline_measure(point: dict, mode: str) -> dict:
         result = run_program(
             spec, None, hybrid_allgather_program,
             placement=placement,
-            payload_mode="model",
+            payload="cost-only",
             program_kwargs={
                 "nbytes_per_rank": nbytes, "pipelined": pipelined,
                 "chunk_bytes": 256 * 1024,
@@ -293,14 +293,14 @@ def _abl_placement_measure(point: dict, mode: str) -> dict:
     # the default layout, no packing needed.
     result = run_program(
         spec, None, hybrid_allgather_program,
-        placement=rr, payload_mode="model",
+        placement=rr, payload="cost-only",
         program_kwargs={"nbytes_per_rank": nbytes},
     )
     out["rr_nodesorted_us"] = _US * max(result.returns)
     # Round-robin placement, remedy 1 (§6): derived-datatype packing.
     result = run_program(
         spec, None, hybrid_allgather_program,
-        placement=rr, payload_mode="model",
+        placement=rr, payload="cost-only",
         program_kwargs={"nbytes_per_rank": nbytes, "pack_datatypes": True},
     )
     out["rr_datatypes_us"] = _US * max(result.returns)
@@ -362,7 +362,7 @@ def _abl_noise_measure(point: dict, mode: str) -> dict:
         cfg = SummaConfig(block=48, variant=variant)
         result = run_program(
             spec, None, summa_program,
-            placement=pl, payload_mode="model", noise=noise,
+            placement=pl, payload="cost-only", noise=noise,
             program_kwargs={"config": cfg},
         )
         out[key] = _MS * max(r["total"] for r in result.returns)
@@ -421,7 +421,7 @@ def _abl_multileader_measure(point: dict, mode: str) -> dict:
         result = run_program(
             spec, None, _multileader_program,
             placement=placement,
-            payload_mode="model",
+            payload="cost-only",
             program_kwargs={"nbytes_per_rank": nbytes, "leaders": leaders},
         )
         out[f"leaders{leaders}_us"] = _US * max(result.returns)

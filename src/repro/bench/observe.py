@@ -56,7 +56,7 @@ def run_traced_allgather(
         None,
         program,
         placement=Placement.block(nodes, ppn),
-        payload_mode="model",
+        payload="cost-only",
         trace=tracer,
         program_kwargs={
             "nbytes_per_rank": elements * 8,

@@ -29,18 +29,26 @@ __all__ = [
 #: Timed repetitions.  The engine is deterministic, so one repetition
 #: equals the mean of the paper's 10000; the warm-up still matters (it
 #: absorbs the one-off hierarchy/window setup the paper excludes).
+#: ``repro-bench --reps/--warmup`` overrides these module-wide, which is
+#: why the programs below resolve ``None`` here at call time instead of
+#: binding the values as signature defaults.
 DEFAULT_REPS = 1
 #: Warm-up repetitions excluded from timing (one-off setup amortization).
 DEFAULT_WARMUP = 1
 
 
-def osu_latency_program(mpi, op: Callable, reps: int = DEFAULT_REPS,
-                        warmup: int = DEFAULT_WARMUP):
+def osu_latency_program(mpi, op: Callable, reps: int | None = None,
+                        warmup: int | None = None):
     """Rank program: time ``op(mpi)`` with the OSU protocol.
 
     *op* is a coroutine function taking the rank context.  Returns the
-    mean per-operation latency on this rank.
+    mean per-operation latency on this rank.  ``reps``/``warmup`` default
+    to :data:`DEFAULT_REPS`/:data:`DEFAULT_WARMUP` at call time.
     """
+    if reps is None:
+        reps = DEFAULT_REPS
+    if warmup is None:
+        warmup = DEFAULT_WARMUP
     comm = mpi.world
     for _ in range(warmup):
         yield from op(mpi)
@@ -53,8 +61,8 @@ def osu_latency_program(mpi, op: Callable, reps: int = DEFAULT_REPS,
 
 
 def hybrid_allgather_program(mpi, nbytes_per_rank: int,
-                             reps: int = DEFAULT_REPS,
-                             warmup: int = DEFAULT_WARMUP,
+                             reps: int | None = None,
+                             warmup: int | None = None,
                              sync: SyncPolicy | None = None,
                              pipelined: bool | None = None,
                              chunk_bytes: int = 128 * 1024,
@@ -76,8 +84,8 @@ def hybrid_allgather_program(mpi, nbytes_per_rank: int,
 
 
 def pure_allgather_program(mpi, nbytes_per_rank: int,
-                           reps: int = DEFAULT_REPS,
-                           warmup: int = DEFAULT_WARMUP,
+                           reps: int | None = None,
+                           warmup: int | None = None,
                            irregular: bool = False):
     """Rank program measuring the naive pure-MPI Allgather latency."""
     payload = (
@@ -101,28 +109,37 @@ def osu_allgather_latency(
     placement: Placement,
     nbytes_per_rank: int,
     variant: str,
-    reps: int = DEFAULT_REPS,
+    reps: int | None = None,
+    warmup: int | None = None,
+    payload: str = "cost-only",
+    fast_path: bool = True,
     **options: Any,
 ) -> float:
     """Measure one (machine, placement, size, variant) point.
 
     *variant* is ``"hybrid"`` or ``"pure"``.  Returns the slowest rank's
-    mean latency in seconds (model payload mode).
+    mean latency in seconds.  The job runs in ``cost-only`` payload mode
+    by default — byte-for-byte the same virtual-time charges as
+    ``"model"``/``"full"``, without materializing payload storage (the
+    equivalence tests assert identical latencies across modes).
     """
     if variant == "hybrid":
         program, kwargs = hybrid_allgather_program, {
-            "nbytes_per_rank": nbytes_per_rank, "reps": reps, **options,
+            "nbytes_per_rank": nbytes_per_rank, "reps": reps,
+            "warmup": warmup, **options,
         }
     elif variant == "pure":
         program, kwargs = pure_allgather_program, {
-            "nbytes_per_rank": nbytes_per_rank, "reps": reps, **options,
+            "nbytes_per_rank": nbytes_per_rank, "reps": reps,
+            "warmup": warmup, **options,
         }
     else:
         raise ValueError(f"unknown variant {variant!r}")
     result = run_program(
         spec, None, program,
         placement=placement,
-        payload_mode="model",
+        payload=payload,
+        fast_path=fast_path,
         program_kwargs=kwargs,
     )
     return max(result.returns)

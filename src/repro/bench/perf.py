@@ -1,0 +1,320 @@
+"""Tracked wall-clock performance harness (``repro-perf``).
+
+Measures how fast the *simulator itself* runs — wall-clock seconds and
+events/second — on the canonical Fig 7/9/10 allgather configurations,
+and writes one ``BENCH_<label>.json`` per figure.  The committed BENCH
+files at the repository root carry the before/after numbers of the
+fast-path work (see docs/performance.md); CI re-runs the quick sweep and
+gates on events/second against them.
+
+Virtual-time results (latencies, event counts) are independent of the
+payload mode and scheduler path — the equivalence tests assert that —
+so the harness measures the cheap configuration (``payload="cost-only"``,
+``fast_path=True``) by default and the numbers still describe the same
+simulation the figures run.
+
+Usage::
+
+    repro-perf                      # full sweep, BENCH_*.json in cwd
+    repro-perf --quick              # reduced sweep (CI smoke)
+    repro-perf --label fig10        # one figure only
+    repro-perf --quick --gate .     # compare against committed BENCH files
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Iterator
+
+from repro.bench.osu import hybrid_allgather_program, pure_allgather_program
+from repro.machine.placement import Placement
+from repro.machine.presets import hazel_hen
+from repro.mpi import run_program
+
+__all__ = ["PERF_LABELS", "perf_points", "measure_point", "run_perf",
+           "write_bench", "check_gate", "main"]
+
+PERF_LABELS = ("fig7", "fig9", "fig10")
+
+#: Pre-fast-path reference numbers (wall seconds / events processed),
+#: measured at the commit before this harness existed on the same
+#: configurations (payload_mode="model", legacy scheduler).  Keyed like
+#: the harness output so "before" columns and speedups can be reported.
+#: Event counts double as a determinism check: the optimized engine must
+#: process exactly the same number of events.
+BASELINE: dict[str, dict[str, dict[str, float]]] = {
+    "fig7": {
+        "n1x24/1el/hybrid": {"wall_s": 0.0121, "events": 126},
+        "n1x24/1el/pure": {"wall_s": 0.0313, "events": 4441},
+        "n1x24/1024el/hybrid": {"wall_s": 0.0035, "events": 126},
+        "n1x24/1024el/pure": {"wall_s": 0.0279, "events": 3673},
+        "n1x24/16384el/hybrid": {"wall_s": 0.0044, "events": 126},
+        "n1x24/16384el/pure": {"wall_s": 0.1022, "events": 15577},
+    },
+    "fig9-quick": {
+        "n4x3/512el/hybrid": {"wall_s": 0.006, "events": 592},
+        "n4x3/512el/pure": {"wall_s": 0.0221, "events": 1696},
+        "n4x12/512el/hybrid": {"wall_s": 0.0112, "events": 880},
+        "n4x12/512el/pure": {"wall_s": 0.1046, "events": 18112},
+        "n4x24/512el/hybrid": {"wall_s": 0.0228, "events": 1424},
+        "n4x24/512el/pure": {"wall_s": 0.4296, "events": 68384},
+    },
+    "fig9-full": {
+        "n16x3/512el/hybrid": {"wall_s": 0.0294, "events": 4148},
+        "n16x3/512el/pure": {"wall_s": 0.0539, "events": 8576},
+        "n16x12/512el/hybrid": {"wall_s": 0.1281, "events": 12340},
+        "n16x12/512el/pure": {"wall_s": 0.5801, "events": 81280},
+        "n16x24/512el/hybrid": {"wall_s": 0.2461, "events": 13876},
+        "n16x24/512el/pure": {"wall_s": 2.2704, "events": 281728},
+    },
+    "fig10-quick": {
+        "r160/1el/hybrid": {"wall_s": 0.0579, "events": 2453},
+        "r160/1el/pure": {"wall_s": 0.1397, "events": 12818},
+        "r160/1024el/hybrid": {"wall_s": 0.0577, "events": 3377},
+        "r160/1024el/pure": {"wall_s": 0.8333, "events": 111968},
+        "r160/16384el/hybrid": {"wall_s": 0.0535, "events": 3377},
+        "r160/16384el/pure": {"wall_s": 0.8858, "events": 111331},
+    },
+    "fig10-full": {
+        "r1024/1el/hybrid": {"wall_s": 1.6162, "events": 22085},
+        "r1024/1el/pure": {"wall_s": 1.896, "events": 88577},
+        "r1024/1024el/hybrid": {"wall_s": 1.5383, "events": 85037},
+        "r1024/1024el/pure": {"wall_s": 8.5006, "events": 795719},
+        "r1024/16384el/hybrid": {"wall_s": 1.6151, "events": 85037},
+        "r1024/16384el/pure": {"wall_s": 9.2572, "events": 791623},
+    },
+}
+
+
+def _baseline_key(label: str, quick: bool) -> str:
+    # fig7 is a single-node config with no quick/full distinction.
+    if label == "fig7":
+        return "fig7"
+    return f"{label}-{'quick' if quick else 'full'}"
+
+
+def perf_points(label: str, quick: bool = False) -> Iterator[tuple]:
+    """Yield ``(name, spec, placement, nbytes, variant, options)`` for
+    every measured point of *label* (one of :data:`PERF_LABELS`)."""
+    if label == "fig7":
+        # Fig 7: one full Hazel Hen node, 24 ranks.
+        spec = hazel_hen(1)
+        placement = Placement.block(1, 24)
+        for elements in (1, 1024, 16384):
+            for variant in ("hybrid", "pure"):
+                yield (f"n1x24/{elements}el/{variant}", spec, placement,
+                       elements * 8, variant, {})
+    elif label == "fig9":
+        # Fig 9: ppn sweep at fixed node count, 512 elements/rank.
+        nodes = 4 if quick else 16
+        spec = hazel_hen(nodes)
+        for ppn in (3, 12, 24):
+            placement = Placement.block(nodes, ppn)
+            for variant in ("hybrid", "pure"):
+                yield (f"n{nodes}x{ppn}/512el/{variant}", spec, placement,
+                       512 * 8, variant, {})
+    elif label == "fig10":
+        # Fig 10: irregular population (paper: 42x24 + 1x16 = 1024 ranks).
+        counts = [24] * 6 + [16] if quick else [24] * 42 + [16]
+        spec = hazel_hen(len(counts))
+        placement = Placement.irregular(counts)
+        ranks = sum(counts)
+        for elements in (1, 1024, 16384):
+            for variant in ("hybrid", "pure"):
+                opts = {"irregular": True} if variant == "pure" else {}
+                yield (f"r{ranks}/{elements}el/{variant}", spec, placement,
+                       elements * 8, variant, opts)
+    else:
+        raise ValueError(
+            f"unknown perf label {label!r}; known: {', '.join(PERF_LABELS)}"
+        )
+
+
+def measure_point(
+    spec, placement, nbytes: int, variant: str, options: dict,
+    payload: str = "cost-only", fast_path: bool = True,
+) -> dict[str, Any]:
+    """Run one point and return wall/event/latency measurements."""
+    program = (hybrid_allgather_program if variant == "hybrid"
+               else pure_allgather_program)
+    t0 = time.perf_counter()
+    result = run_program(
+        spec, None, program,
+        placement=placement,
+        payload=payload,
+        fast_path=fast_path,
+        program_kwargs={"nbytes_per_rank": nbytes, **options},
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": round(wall, 4),
+        "events": result.events_processed,
+        "latency_us": max(result.returns) * 1e6,
+        "events_per_s": round(result.events_processed / wall, 1),
+    }
+
+
+def run_perf(label: str, quick: bool = False, payload: str = "cost-only",
+             fast_path: bool = True, progress: bool = True) -> dict[str, Any]:
+    """Measure every point of *label*; returns the BENCH document."""
+    baseline = BASELINE.get(_baseline_key(label, quick), {})
+    points: dict[str, Any] = {}
+    total_wall = 0.0
+    total_events = 0
+    for name, spec, placement, nbytes, variant, opts in \
+            perf_points(label, quick):
+        rec = measure_point(spec, placement, nbytes, variant, opts,
+                            payload=payload, fast_path=fast_path)
+        before = baseline.get(name)
+        if before:
+            rec["before_wall_s"] = before["wall_s"]
+            rec["before_events"] = int(before["events"])
+            if rec["wall_s"] > 0:
+                rec["speedup"] = round(before["wall_s"] / rec["wall_s"], 2)
+        points[name] = rec
+        total_wall += rec["wall_s"]
+        total_events += rec["events"]
+        if progress:
+            extra = (f" (was {before['wall_s']}s)" if before else "")
+            print(f"  {name}: {rec['wall_s']}s, {rec['events']} events"
+                  f"{extra}", flush=True)
+    doc: dict[str, Any] = {
+        "label": label,
+        "mode": "quick" if quick else "full",
+        "payload": payload,
+        "fast_path": fast_path,
+        "points": points,
+        "total_wall_s": round(total_wall, 3),
+        "total_events": total_events,
+        "events_per_s": round(total_events / total_wall, 1)
+        if total_wall > 0 else 0.0,
+    }
+    if baseline:
+        before_total = round(
+            sum(b["wall_s"] for b in baseline.values()), 3
+        )
+        doc["before_total_wall_s"] = before_total
+        if total_wall > 0:
+            doc["speedup"] = round(before_total / total_wall, 2)
+    return doc
+
+
+def write_bench(doc: dict[str, Any], out_dir: str = ".") -> str:
+    """Write *doc* as ``BENCH_<label>.json`` under *out_dir*."""
+    path = os.path.join(out_dir, f"BENCH_{doc['label']}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def check_gate(doc: dict[str, Any], committed_dir: str,
+               factor: float = 2.0) -> str | None:
+    """Compare a fresh measurement against a committed BENCH file.
+
+    The gate is on aggregate *events per second* — wall-clock normalized
+    by work — because the committed reference (full sweep) and the CI
+    smoke run (quick sweep) use different problem sizes, and because CI
+    runners differ from the machine that produced the reference.  Returns
+    an error string if the fresh run is more than *factor* x slower, or
+    ``None`` if it passes (or no reference exists).
+    """
+    path = os.path.join(committed_dir, f"BENCH_{doc['label']}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        ref = json.load(fh)
+    ref_eps = ref.get("events_per_s", 0.0)
+    eps = doc.get("events_per_s", 0.0)
+    if ref_eps <= 0 or eps <= 0:
+        return None
+    if eps * factor < ref_eps:
+        return (
+            f"{doc['label']}: {eps:.0f} events/s is more than {factor:g}x "
+            f"below the committed reference ({ref_eps:.0f} events/s in "
+            f"{path})"
+        )
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description=(
+            "Wall-clock benchmark of the simulator on the canonical "
+            "Fig 7/9/10 configurations; writes BENCH_<label>.json."
+        ),
+    )
+    parser.add_argument(
+        "--label", action="append", choices=PERF_LABELS,
+        help="figure config to measure (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweep (smaller node counts; used by CI)",
+    )
+    parser.add_argument(
+        "--payload", choices=("cost-only", "model", "full"),
+        default="cost-only",
+        help="payload mode to benchmark (default: cost-only)",
+    )
+    parser.add_argument(
+        "--legacy-path", action="store_true",
+        help="benchmark the legacy heap-only scheduler (fast_path=False)",
+    )
+    parser.add_argument(
+        "--out-dir", default=".",
+        help="directory for BENCH_<label>.json (default: cwd)",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="measure only, write nothing"
+    )
+    parser.add_argument(
+        "--gate", metavar="DIR",
+        help=(
+            "compare against committed BENCH files in DIR and exit "
+            "non-zero on regression (events/s, see --gate-factor)"
+        ),
+    )
+    parser.add_argument(
+        "--gate-factor", type=float, default=2.0, metavar="X",
+        help="allowed events/s slowdown before --gate fails (default: 2)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress"
+    )
+    args = parser.parse_args(argv)
+    labels = args.label or list(PERF_LABELS)
+    failures = []
+    for label in labels:
+        if not args.quiet:
+            print(f"{label} ({'quick' if args.quick else 'full'}):",
+                  flush=True)
+        doc = run_perf(
+            label, quick=args.quick, payload=args.payload,
+            fast_path=not args.legacy_path, progress=not args.quiet,
+        )
+        summary = f"{label}: {doc['total_wall_s']}s, {doc['events_per_s']:.0f} events/s"
+        if "speedup" in doc:
+            summary += (f" ({doc['before_total_wall_s']}s before, "
+                        f"x{doc['speedup']} speedup)")
+        print(summary, flush=True)
+        if not args.no_json:
+            path = write_bench(doc, args.out_dir)
+            if not args.quiet:
+                print(f"wrote {path}", flush=True)
+        if args.gate:
+            err = check_gate(doc, args.gate, args.gate_factor)
+            if err:
+                failures.append(err)
+    for err in failures:
+        print(f"PERF REGRESSION: {err}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -70,9 +70,14 @@ class HybridContext:
         bridge = yield from comm.split(
             color=0 if is_leader else UNDEFINED, key=0
         )
-        layout = NodeSortedLayout(
-            comm.group.world_ranks(), comm.ctx.placement
-        )
+        # The layout is a pure function of group + placement; build it
+        # once per communicator (it is O(p), and every rank needs one).
+        cache = comm.shared_cache
+        layout = cache.get("_node_layout")
+        if layout is None:
+            layout = cache["_node_layout"] = NodeSortedLayout(
+                comm.group.world_ranks(), comm.ctx.placement
+            )
         return cls(comm, shm, bridge, layout, default_sync or BarrierSync())
 
     # -- identity ---------------------------------------------------------------

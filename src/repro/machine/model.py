@@ -201,7 +201,7 @@ class Machine:
         Cost = per-message latency + two memory copies (sender copies into
         the staging buffer, receiver copies out), both contended.
         """
-        yield self.engine.timeout(self.spec.node.shm_latency)
+        yield self.engine.pause(self.spec.node.shm_latency)
         yield from self.memory_copy(node, nbytes, copies=2)
         return nbytes
 

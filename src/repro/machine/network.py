@@ -192,7 +192,7 @@ class NetworkModel:
         rendezvous = nbytes > spec.eager_threshold
         self.stats.record(src_node, dst_node, nbytes, hops, rendezvous)
         if rendezvous:
-            yield self.engine.timeout(self.rendezvous_latency(src_node, dst_node))
+            yield self.engine.pause(self.rendezvous_latency(src_node, dst_node))
         # Serialization: both endpoint NICs held concurrently.
         holds = [
             self._tx[src_node].transfer(nbytes),
@@ -203,7 +203,7 @@ class NetworkModel:
                 holds.append(self._links[frozenset(edge)].transfer(nbytes))
         yield AllOf(holds)
         # Propagation.
-        yield self.engine.timeout(spec.alpha + hops * spec.hop_latency)
+        yield self.engine.pause(spec.alpha + hops * spec.hop_latency)
         return nbytes
 
     def nic_tx(self, node: int) -> BandwidthChannel:

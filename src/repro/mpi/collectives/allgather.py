@@ -96,15 +96,18 @@ def allgather_ring(comm, payload: Any, tag: int):
     right = (rank + 1) % size
     left = (rank - 1) % size
     carry_owner = rank
+    blocks = mine.blocks
+    merge = mine.merge
+    isend = comm.isend
+    irecv = comm.irecv
     for _step in range(size - 1):
-        chunk = BlockSet({carry_owner: mine[carry_owner]})
-        rreq = comm.irecv(source=left, tag=tag)
-        sreq = comm.isend(chunk, right, tag=tag)
+        chunk = BlockSet.single(carry_owner, blocks[carry_owner])
+        rreq = irecv(source=left, tag=tag)
+        sreq = isend(chunk, right, tag)
         results = yield AllOf([rreq.event, sreq.event])
         incoming, _status = results[0]
-        owners = incoming.owners()
-        if len(owners) != 1:
+        if len(incoming.blocks) != 1:
             raise AssertionError("ring step must carry exactly one block")
-        carry_owner = owners[0]
-        mine.merge(incoming)
+        carry_owner = next(iter(incoming.blocks))
+        merge(incoming)
     return mine

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
-from repro.mpi.datatypes import clone, nbytes_of
+from repro.mpi.datatypes import Bytes, clone, nbytes_of
 
 __all__ = ["BlockSet"]
 
@@ -23,9 +23,14 @@ class BlockSet:
     ``meta`` is an optional small side-channel dict (e.g. origin-rank
     bookkeeping in Bruck all-to-all); it is copied on clone but does not
     contribute to ``nbytes``.
+
+    ``nbytes`` is maintained incrementally: blocks only ever enter via
+    the constructor, :meth:`add` or :meth:`merge` (never mutate
+    ``blocks`` directly), so the total never needs a rescan — at paper
+    scale the allgather algorithms consult it millions of times.
     """
 
-    __slots__ = ("blocks", "meta")
+    __slots__ = ("blocks", "meta", "nbytes")
 
     def __init__(
         self,
@@ -34,29 +39,76 @@ class BlockSet:
     ):
         self.blocks: dict[int, Any] = dict(blocks) if blocks else {}
         self.meta: dict = dict(meta) if meta else {}
+        total = 0
+        for p in self.blocks.values():
+            total += p.nbytes if type(p) is Bytes else nbytes_of(p)
+        #: Total payload bytes across all blocks — a plain slot (not a
+        #: property) because the size oracle reads it millions of times.
+        self.nbytes = total
 
-    @property
-    def nbytes(self) -> int:
-        """Total payload bytes across all blocks."""
-        return sum(nbytes_of(p) for p in self.blocks.values())
+    @classmethod
+    def single(cls, owner: int, payload: Any) -> "BlockSet":
+        """One-block set without the constructor's copy/rescan (the
+        shape every ring/doubling round starts from)."""
+        new = cls.__new__(cls)
+        new.blocks = {owner: payload}
+        new.meta = {}
+        new.nbytes = (
+            payload.nbytes if type(payload) is Bytes else nbytes_of(payload)
+        )
+        return new
 
     def sim_clone(self) -> "BlockSet":
         """Deep snapshot (value semantics at send time)."""
-        return BlockSet(
-            {r: clone(p) for r, p in self.blocks.items()}, meta=self.meta
-        )
+        new = BlockSet.__new__(BlockSet)
+        # Bytes markers are immutable — share them instead of a per-member
+        # clone() dispatch (the dominant cost of model-mode sends).
+        new.blocks = {
+            r: (p if type(p) is Bytes else clone(p))
+            for r, p in self.blocks.items()
+        }
+        new.meta = dict(self.meta)
+        new.nbytes = self.nbytes
+        return new
+
+    def sim_snapshot(self) -> "BlockSet":
+        """Shallow snapshot for cost-only sends: the member payloads are
+        shared, only the owner map is copied (insulating the receiver
+        from post-send ``add``/``merge`` on the sender's set)."""
+        new = BlockSet.__new__(BlockSet)
+        new.blocks = dict(self.blocks)
+        new.meta = dict(self.meta)
+        new.nbytes = self.nbytes
+        return new
 
     def add(self, owner: int, payload: Any) -> None:
         """Insert a block, refusing silent overwrite of a different one."""
         if owner in self.blocks:
             raise KeyError(f"block for rank {owner} already present")
         self.blocks[owner] = payload
+        self.nbytes += nbytes_of(payload)
 
     def merge(self, other: "BlockSet") -> None:
         """Union another block set into this one."""
-        for owner, payload in other.blocks.items():
-            if owner not in self.blocks:
-                self.blocks[owner] = payload
+        blocks = self.blocks
+        others = other.blocks
+        # The common case (ring/recursive-doubling rounds) is a disjoint
+        # union — one keys-intersection test then a bulk update, reusing
+        # the other set's running total instead of per-block sizing.
+        if not blocks:
+            blocks.update(others)
+            self.nbytes = other.nbytes
+            return
+        if blocks.keys().isdisjoint(others):
+            blocks.update(others)
+            self.nbytes += other.nbytes
+            return
+        added = 0
+        for owner, payload in others.items():
+            if owner not in blocks:
+                blocks[owner] = payload
+                added += nbytes_of(payload)
+        self.nbytes += added
 
     def subset(self, owners: list[int]) -> "BlockSet":
         """New :class:`BlockSet` holding only *owners* (must be present)."""
@@ -80,10 +132,14 @@ class BlockSet:
 
     def as_list(self, size: int) -> list[Any]:
         """Blocks ordered 0..size-1 (all must be present)."""
-        missing = [r for r in range(size) if r not in self.blocks]
-        if missing:
-            raise KeyError(f"missing blocks for ranks {missing[:8]}")
-        return [self.blocks[r] for r in range(size)]
+        blocks = self.blocks
+        try:
+            return [blocks[r] for r in range(size)]
+        except KeyError:
+            missing = [r for r in range(size) if r not in blocks]
+            raise KeyError(
+                f"missing blocks for ranks {missing[:8]}"
+            ) from None
 
     def __repr__(self) -> str:
         return f"BlockSet(owners={self.owners()[:8]}, nbytes={self.nbytes})"

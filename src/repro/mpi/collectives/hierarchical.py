@@ -35,6 +35,25 @@ __all__ = [
 ]
 
 
+def _by_node_map(comm) -> dict[int, list[int]]:
+    """``node -> comm ranks`` of *comm*, computed once per communicator.
+
+    Pure function of group + placement, so it lives in the shared cache:
+    a per-rank scan would make hierarchy setup O(p^2) per job.
+    """
+    shared = comm.shared_cache
+    by_node = shared.get("_by_node")
+    if by_node is None:
+        placement = comm.ctx.placement
+        by_node = {}
+        for r in range(comm.size):
+            by_node.setdefault(
+                placement.node_of(comm.world_rank_of(r)), []
+            ).append(r)
+        shared["_by_node"] = by_node
+    return by_node
+
+
 def hier_comms(comm):
     """Build (or fetch cached) the node hierarchy of *comm*.
 
@@ -48,15 +67,15 @@ def hier_comms(comm):
     """
     cache = comm.hier_cache
     if "shm" not in cache:
-        placement = comm.ctx.placement
-        by_node: dict[int, list[int]] = {}
-        for r in range(comm.size):
-            by_node.setdefault(
-                placement.node_of(comm.world_rank_of(r)), []
-            ).append(r)
-        my_node = placement.node_of(comm.ctx.world_rank)
+        by_node = _by_node_map(comm)
+        my_node = comm.ctx.placement.node_of(comm.ctx.world_rank)
         shm = comm.subcomm(("hier_shm", my_node), by_node[my_node])
-        leaders = [ranks[0] for _node, ranks in sorted(by_node.items())]
+        shared = comm.shared_cache
+        leaders = shared.get("_hier_leaders")
+        if leaders is None:
+            leaders = shared["_hier_leaders"] = [
+                ranks[0] for _node, ranks in sorted(by_node.items())
+            ]
         bridge = comm.subcomm(("hier_bridge",), leaders)
         cache["shm"] = shm
         cache["bridge"] = bridge
@@ -280,12 +299,7 @@ def multileader_allgather(comm, payload: Any, tag: int, leaders_per_node: int,
         slice_comm = shm.subcomm(("ml_slice", k, slice_id), slice_members)
         is_leader = slice_comm.rank == 0
         # Bridge s: the s-th leader of every node (if that node has one).
-        placement = comm.ctx.placement
-        by_node: dict[int, list[int]] = {}
-        for r in range(comm.size):
-            by_node.setdefault(
-                placement.node_of(comm.world_rank_of(r)), []
-            ).append(r)
+        by_node = _by_node_map(comm)
         bridge_members = []
         for _node, ranks in sorted(by_node.items()):
             kk = min(leaders_per_node, len(ranks))

@@ -221,8 +221,12 @@ def ops() -> list[str]:
 # ---------------------------------------------------------------------------
 
 def comm_shape(comm) -> tuple[int, int]:
-    """``(num_nodes, max_ranks_per_node)`` of *comm* (cached per rank)."""
-    cache = comm.hier_cache
+    """``(num_nodes, max_ranks_per_node)`` of *comm*.
+
+    Cached on the communicator's *shared* state: the shape is a pure
+    function of group + placement, so one O(p) scan serves every rank
+    (a per-rank cache would redo it p times — O(p^2) per job)."""
+    cache = comm.shared_cache
     shape = cache.get("_shape")
     if shape is None:
         placement = comm.ctx.placement

@@ -38,13 +38,18 @@ __all__ = ["Comm"]
 class _CommShared:
     """State shared by every rank's view of one communicator."""
 
-    __slots__ = ("id", "group", "job", "name", "_gates", "_children")
+    __slots__ = ("id", "group", "job", "name", "cache", "_gates", "_children")
 
     def __init__(self, job: Any, group: Group, name: str):
         self.id: int = job.next_comm_id()
         self.group = group
         self.job = job
         self.name = name
+        # Communicator-wide cache for data derived purely from globally
+        # known state (group + placement): node maps, comm shapes, slot
+        # layouts.  Computing these per *rank* is O(p) each and turns the
+        # per-job setup O(p^2) at paper scale — one shared copy suffices.
+        self.cache: dict[Any, Any] = {}
         self._gates: dict[Any, _GateState] = {}
         # Registry of deterministically-derived child communicators
         # (internal hierarchies): key -> _CommShared.  Membership is a
@@ -112,7 +117,10 @@ class Comm:
         Number of member processes.
     """
 
-    __slots__ = ("_shared", "_ctx", "rank", "_coll_seq", "_gate_seq", "_hier")
+    __slots__ = (
+        "_shared", "_ctx", "rank", "_coll_seq", "_gate_seq", "_hier",
+        "_world_ranks",
+    )
 
     def __init__(self, shared: _CommShared, ctx: Any):
         self._shared = shared
@@ -126,11 +134,20 @@ class Comm:
         self._coll_seq = 0
         self._gate_seq = 0
         self._hier: dict[str, Any] = {}
+        # comm rank -> world rank, cached for the p2p fast path (the
+        # group is immutable).
+        self._world_ranks = shared.group.world_ranks()
 
     @property
     def hier_cache(self) -> dict[str, Any]:
         """Per-rank cache of internal hierarchy sub-communicators."""
         return self._hier
+
+    @property
+    def shared_cache(self) -> dict[Any, Any]:
+        """Communicator-wide cache for group-pure derived data (shared by
+        all ranks — store nothing rank-dependent here)."""
+        return self._shared.cache
 
     # -- basic queries -----------------------------------------------------
     @property
@@ -167,8 +184,12 @@ class Comm:
         return self._ctx.placement.node_of(self.world_rank_of(comm_rank))
 
     # -- point-to-point ------------------------------------------------------
-    def _p2p_begin(self, op: str, peer: int, nbytes: int):
-        """Open a p2p wait span (trace detail ``"p2p"`` only)."""
+    def _p2p_begin(self, op: str, peer: int, payload: Any = None):
+        """Open a p2p wait span (trace detail ``"p2p"`` only).
+
+        The payload is sized lazily — only when the span is actually
+        recorded — so untraced runs never pay for ``nbytes_of``.
+        """
         tracer = self._ctx.trace
         if tracer is None or not tracer.wants("p2p"):
             return None
@@ -179,7 +200,7 @@ class Comm:
             "kind": "p2p",
             "op": op,
             "peer": peer,
-            "nbytes": nbytes,
+            "nbytes": nbytes_of(payload) if payload is not None else 0,
         })
 
     def _p2p_end(self, span) -> None:
@@ -190,7 +211,7 @@ class Comm:
         """Blocking send (coroutine)."""
         if dest == PROC_NULL:
             return
-        span = self._p2p_begin("send", dest, nbytes_of(payload))
+        span = self._p2p_begin("send", dest, payload)
         req = self.isend(payload, dest, tag)
         yield req.event
         self._p2p_end(span)
@@ -201,14 +222,13 @@ class Comm:
             ev = Event(self._ctx.engine, name="send.null")
             ev.succeed(None)
             return Request(ev, "send")
-        self._check_peer(dest)
-        done = self._ctx.msg_engine.post_send(
-            comm_id=self._shared.id,
-            src_world=self._ctx.world_rank,
-            src_comm_rank=self.rank,
-            dst_world=self.world_rank_of(dest),
-            payload=payload,
-            tag=tag,
+        ranks = self._world_ranks
+        if not 0 <= dest < len(ranks):
+            self._check_peer(dest)
+        ctx = self._ctx
+        done = ctx.msg_engine.post_send(
+            self._shared.id, ctx.world_rank, self.rank, ranks[dest],
+            payload, tag,
         )
         return Request(done, "send")
 
@@ -223,7 +243,7 @@ class Comm:
         """Blocking receive returning ``(payload, Status)``."""
         if source == PROC_NULL:
             return None, Status(source=PROC_NULL, tag=tag, nbytes=0)
-        span = self._p2p_begin("recv", source, 0)
+        span = self._p2p_begin("recv", source)
         req = self.irecv(buf, source, tag)
         payload, status = yield req.event
         if span is not None:
@@ -239,14 +259,11 @@ class Comm:
             ev = Event(self._ctx.engine, name="recv.null")
             ev.succeed((None, Status(source=PROC_NULL, tag=tag, nbytes=0)))
             return Request(ev, "recv")
-        if source != ANY_SOURCE:
+        if source != ANY_SOURCE and not 0 <= source < len(self._world_ranks):
             self._check_peer(source)
-        ev = self._ctx.msg_engine.post_recv(
-            comm_id=self._shared.id,
-            dst_world=self._ctx.world_rank,
-            source=source,
-            tag=tag,
-            buf=buf,
+        ctx = self._ctx
+        ev = ctx.msg_engine.post_recv(
+            self._shared.id, ctx.world_rank, source, tag, buf,
         )
         return Request(ev, "recv")
 
@@ -260,7 +277,7 @@ class Comm:
         recvtag: int = ANY_TAG,
     ):
         """Simultaneous send and receive (coroutine); returns payload."""
-        span = self._p2p_begin("sendrecv", dest, nbytes_of(sendpayload))
+        span = self._p2p_begin("sendrecv", dest, sendpayload)
         rreq = self.irecv(recvbuf, source, recvtag)
         sreq = self.isend(sendpayload, dest, sendtag)
         results = yield AllOf([rreq.event, sreq.event])

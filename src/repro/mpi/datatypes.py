@@ -21,7 +21,10 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["Bytes", "nbytes_of", "copy_into", "clone", "slice_payload", "concat"]
+__all__ = [
+    "Bytes", "nbytes_of", "copy_into", "clone", "snapshot", "slice_payload",
+    "concat",
+]
 
 
 class Bytes:
@@ -55,17 +58,16 @@ def nbytes_of(payload: Any) -> int:
     (zero bytes) and any object exposing an integer ``nbytes`` attribute
     (e.g. the block containers used internally by collectives).
     """
-    if payload is None:
-        return 0
-    if isinstance(payload, Bytes):
-        return payload.nbytes
-    if isinstance(payload, np.ndarray):
-        return payload.nbytes
-    if isinstance(payload, (bytes, bytearray, memoryview)):
-        return len(payload)
+    # Every supported type except the raw bytes-likes exposes ``nbytes``,
+    # so one getattr replaces an isinstance chain (this is the innermost
+    # size oracle of the whole cost model).
     size = getattr(payload, "nbytes", None)
     if size is not None:
-        return int(size)
+        return size if type(size) is int else int(size)
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
     raise TypeError(f"unsupported payload type {type(payload).__name__}")
 
 
@@ -116,6 +118,29 @@ def clone(payload: Any) -> Any:
     if cloner is not None:
         return cloner()
     raise TypeError(f"unsupported payload type {type(payload).__name__}")
+
+
+def snapshot(payload: Any) -> Any:
+    """Send-time snapshot for *cost-only* mode.
+
+    Preserves every size :func:`nbytes_of` would report (so all virtual-
+    time charges match :func:`clone` exactly) but never copies storage:
+    ndarrays collapse to :class:`Bytes` markers and block containers take
+    a shallow ``sim_snapshot`` (their members are immutable size markers
+    in this mode).
+    """
+    # Hook first: block containers dominate send traffic in the
+    # collective sweeps, and the other branches are cheap to fall through.
+    snap = getattr(payload, "sim_snapshot", None)
+    if snap is not None:
+        return snap()
+    if payload is None or isinstance(payload, Bytes):
+        return payload
+    if isinstance(payload, np.ndarray):
+        return Bytes(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return Bytes(len(payload))
+    return clone(payload)
 
 
 def slice_payload(payload: Any, start: int, stop: int, itemsize: int = 1) -> Any:

@@ -32,20 +32,44 @@ from typing import Any
 
 from repro.machine.model import Machine
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
-from repro.mpi.datatypes import clone, copy_into, nbytes_of
+from repro.mpi.datatypes import clone, copy_into, nbytes_of, snapshot
 from repro.mpi.errors import MPIError, TruncationError
-from repro.simulator import AllOf, Engine, Event
+from repro.simulator import AllOf, Engine, Event, Process
 
 __all__ = ["MessageEngine", "Request", "Status"]
 
 
-@dataclass(frozen=True)
 class Status:
-    """Completion metadata of a receive (MPI_Status analogue)."""
+    """Completion metadata of a receive (MPI_Status analogue).
 
-    source: int  # comm rank of the sender
-    tag: int
-    nbytes: int
+    Value-semantics (eq/hash by field), like the frozen dataclass it
+    replaces — the hand-written ``__slots__`` form skips the dataclass
+    ``__setattr__`` round-trip on the one-per-delivery hot path.
+    """
+
+    __slots__ = ("source", "tag", "nbytes")
+
+    def __init__(self, source: int, tag: int, nbytes: int):
+        self.source = source  # comm rank of the sender
+        self.tag = tag
+        self.nbytes = nbytes
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Status)
+            and other.source == self.source
+            and other.tag == self.tag
+            and other.nbytes == self.nbytes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.tag, self.nbytes))
+
+    def __repr__(self) -> str:
+        return (
+            f"Status(source={self.source}, tag={self.tag}, "
+            f"nbytes={self.nbytes})"
+        )
 
 
 class Request:
@@ -78,9 +102,24 @@ class _SendRec:
         "matched", "arrived", "sender_done", "seq",
     )
 
-    def __init__(self, **kw: Any):
-        for k, v in kw.items():
-            setattr(self, k, v)
+    def __init__(self, src_world, src_comm_rank, dst_world, tag, payload,
+                 nbytes, eager, intra, node, src_node, dst_node,
+                 matched, arrived, sender_done, seq):
+        self.src_world = src_world
+        self.src_comm_rank = src_comm_rank
+        self.dst_world = dst_world
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.eager = eager
+        self.intra = intra
+        self.node = node
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.matched = matched
+        self.arrived = arrived
+        self.sender_done = sender_done
+        self.seq = seq
 
 
 class _RecvRec:
@@ -107,19 +146,30 @@ class _MatchQueue:
 
 
 class MessageEngine:
-    """Owns message matching and transfer scheduling for one job."""
+    """Owns message matching and transfer scheduling for one job.
 
-    def __init__(self, engine: Engine, machine: Machine, tracer=None):
+    ``cost_only=True`` switches send-time value semantics from
+    :func:`clone` (deep copy) to :func:`snapshot` (size-preserving,
+    storage-free) — every byte count and therefore every virtual-time
+    charge is unchanged, only Python-level copying is elided.
+    """
+
+    def __init__(self, engine: Engine, machine: Machine, tracer=None,
+                 cost_only: bool = False):
         self.engine = engine
         self.machine = machine
         # At trace detail "p2p" the match step records receive queue
         # waits (time between posting a receive and the matching send).
         self.tracer = tracer if tracer is not None and tracer.wants("p2p") \
             else None
+        self.cost_only = cost_only
+        self._snapshot = snapshot if cost_only else clone
         self._queues: dict[tuple[int, int], _MatchQueue] = {}
         self._seq = 0
         self.sent_messages = 0
         self.sent_bytes = 0.0
+        # Hot-path caches (one attribute hop instead of three per send).
+        self._eager_threshold = machine.spec.network.eager_threshold
 
     # ------------------------------------------------------------------
     def _queue(self, comm_id: int, dst_world: int) -> _MatchQueue:
@@ -145,35 +195,40 @@ class MessageEngine:
     ) -> Event:
         """Post a send; returns the sender-completion event."""
         eng = self.engine
-        machine = self.machine
-        placement = machine._placement  # set by the runtime at job start
-        src_node = placement.node_of(src_world)
-        dst_node = placement.node_of(dst_world)
-        intra = src_node == dst_node
+        # set by the runtime at job start
+        node_of = self.machine._placement._node_of
+        src_node = node_of[src_world]
+        dst_node = node_of[dst_world]
         nbytes = nbytes_of(payload)
-        eager = nbytes <= machine.spec.network.eager_threshold
+        self._seq += 1
+        # Event/process names are static: per-message f-strings cost more
+        # than the rest of the bookkeeping combined at paper scale, and
+        # the records themselves carry the src/dst/seq for diagnostics.
         rec = _SendRec(
-            src_world=src_world,
-            src_comm_rank=src_comm_rank,
-            dst_world=dst_world,
-            tag=tag,
-            payload=clone(payload),
-            nbytes=nbytes,
-            eager=eager,
-            intra=intra,
-            node=src_node,
-            src_node=src_node,
-            dst_node=dst_node,
-            matched=Event(eng, name=f"send.matched s{src_world}->d{dst_world}"),
-            arrived=Event(eng, name=f"send.arrived s{src_world}->d{dst_world}"),
-            sender_done=Event(eng, name=f"send.done s{src_world}->d{dst_world}"),
-            seq=self._next_seq(),
+            src_world,
+            src_comm_rank,
+            dst_world,
+            tag,
+            self._snapshot(payload),
+            nbytes,
+            nbytes <= self._eager_threshold,
+            src_node == dst_node,
+            src_node,
+            src_node,
+            dst_node,
+            Event(eng, "send.matched"),
+            Event(eng, "send.arrived"),
+            Event(eng, "send.done"),
+            self._seq,
         )
         self.sent_messages += 1
         self.sent_bytes += nbytes
-        q = self._queue(comm_id, dst_world)
+        key = (comm_id, dst_world)
+        q = self._queues.get(key)
+        if q is None:
+            q = self._queues[key] = _MatchQueue()
         q.pending_sends.append(rec)
-        eng.spawn(self._sender_process(rec), name=f"msg{rec.seq}.xfer")
+        Process(eng, self._sender_process(rec), "msg.xfer")
         self._try_match(q)
         return rec.sender_done
 
@@ -184,15 +239,21 @@ class MessageEngine:
         if rec.intra:
             if rec.eager:
                 # CICO copy-in: latency hop + contended copy into staging.
-                yield eng.timeout(machine.spec.node.shm_latency)
-                yield from machine.memory_copy(rec.node, rec.nbytes)
+                # (memory_copy inlined: one copy = 2*nbytes through the
+                # node memory system.)
+                yield eng.pause(machine.spec.node.shm_latency)
+                machine.intra_copies += 1
+                machine.intra_bytes += rec.nbytes
+                yield machine._memory[rec.node].transfer(2.0 * rec.nbytes)
                 rec.sender_done.succeed()
                 rec.arrived.succeed()
             else:
                 # LMT single-copy: wait for the receive, then copy once.
                 yield rec.matched
-                yield eng.timeout(machine.spec.node.shm_latency)
-                yield from machine.memory_copy(rec.node, rec.nbytes)
+                yield eng.pause(machine.spec.node.shm_latency)
+                machine.intra_copies += 1
+                machine.intra_bytes += rec.nbytes
+                yield machine._memory[rec.node].transfer(2.0 * rec.nbytes)
                 rec.sender_done.succeed()
                 rec.arrived.succeed()
         else:
@@ -202,17 +263,22 @@ class MessageEngine:
                 yield tx
                 rec.sender_done.succeed()
                 yield rx
-                yield eng.timeout(net.latency(rec.src_node, rec.dst_node))
+                yield eng.pause(net.latency(rec.src_node, rec.dst_node))
                 rec.arrived.succeed()
+                net.stats.record(
+                    rec.src_node, rec.dst_node, rec.nbytes,
+                    net.topology.hops(rec.src_node, rec.dst_node),
+                    rendezvous=False,
+                )
             else:
                 yield rec.matched
-                yield eng.timeout(
+                yield eng.pause(
                     net.rendezvous_latency(rec.src_node, rec.dst_node)
                 )
                 tx = net.nic_tx(rec.src_node).transfer(rec.nbytes)
                 rx = net.nic_rx(rec.dst_node).transfer(rec.nbytes)
                 yield AllOf([tx, rx])
-                yield eng.timeout(net.latency(rec.src_node, rec.dst_node))
+                yield eng.pause(net.latency(rec.src_node, rec.dst_node))
                 net.stats.record(
                     rec.src_node, rec.dst_node, rec.nbytes,
                     net.topology.hops(rec.src_node, rec.dst_node),
@@ -220,14 +286,6 @@ class MessageEngine:
                 )
                 rec.sender_done.succeed()
                 rec.arrived.succeed()
-        if rec.intra:
-            pass
-        elif rec.eager:
-            net.stats.record(
-                rec.src_node, rec.dst_node, rec.nbytes,
-                net.topology.hops(rec.src_node, rec.dst_node),
-                rendezvous=False,
-            )
 
     # -- recv ------------------------------------------------------------
     def post_recv(
@@ -239,12 +297,14 @@ class MessageEngine:
         buf: Any,
     ) -> Event:
         """Post a receive; the returned event's value is (payload, Status)."""
-        ev = Event(
-            self.engine, name=f"recv d{dst_world} src={source} tag={tag}"
-        )
-        rec = _RecvRec(source, tag, buf, ev, self._next_seq(),
+        ev = Event(self.engine, "recv")
+        self._seq += 1
+        rec = _RecvRec(source, tag, buf, ev, self._seq,
                        posted=self.engine.now, dst_world=dst_world)
-        q = self._queue(comm_id, dst_world)
+        key = (comm_id, dst_world)
+        q = self._queues.get(key)
+        if q is None:
+            q = self._queues[key] = _MatchQueue()
         q.pending_recvs.append(rec)
         self._try_match(q)
         return ev
@@ -257,23 +317,41 @@ class MessageEngine:
         return src_ok and tag_ok
 
     def _try_match(self, q: _MatchQueue) -> None:
-        # Repeatedly pair the earliest-posted receive with the
-        # earliest-posted matching send (MPI non-overtaking order).
-        progress = True
-        while progress:
-            progress = False
-            for recv in list(q.pending_recvs):
-                chosen = None
-                for send in q.pending_sends:
-                    if self._matches(recv, send):
-                        chosen = send
-                        break
-                if chosen is not None:
-                    q.pending_recvs.remove(recv)
-                    q.pending_sends.remove(chosen)
-                    self._start_delivery(chosen, recv)
-                    progress = True
+        # Pair the earliest-posted receive with the earliest-posted
+        # matching send (MPI non-overtaking order).  One forward pass over
+        # the receives suffices: succeed()/spawn() are deferred (nothing
+        # is appended mid-scan), and consuming a send can never enable an
+        # *earlier* receive that already failed to match.
+        sends = q.pending_sends
+        recvs = q.pending_recvs
+        if not sends or not recvs:
+            return
+        if len(recvs) == 1 and len(sends) == 1:
+            # Single pending pair — by far the dominant case in the
+            # collective sweeps (every post_send/post_recv immediately
+            # matches its counterpart).  Inline the match predicate and
+            # skip the scan copy.
+            recv = recvs[0]
+            send = sends[0]
+            if (recv.source == ANY_SOURCE
+                    or recv.source == send.src_comm_rank) and (
+                    recv.tag == ANY_TAG or recv.tag == send.tag):
+                recvs.popleft()
+                sends.popleft()
+                self._start_delivery(send, recv)
+            return
+        for recv in list(recvs):
+            chosen = None
+            for send in sends:
+                if self._matches(recv, send):
+                    chosen = send
                     break
+            if chosen is not None:
+                recvs.remove(recv)
+                sends.remove(chosen)
+                self._start_delivery(chosen, recv)
+                if not sends:
+                    return
 
     def _start_delivery(self, send: _SendRec, recv: _RecvRec) -> None:
         if self.tracer is not None:
@@ -285,19 +363,19 @@ class MessageEngine:
                 "wait": now - recv.posted,
                 "nbytes": send.nbytes,
             })
-        if not send.matched.triggered:
+        if send.matched._state == 0:  # pending
             send.matched.succeed()
-        self.engine.spawn(
-            self._deliver_process(send, recv),
-            name=f"msg{send.seq}.deliver",
-        )
+        Process(self.engine, self._deliver_process(send, recv), "msg.deliver")
 
     def _deliver_process(self, send: _SendRec, recv: _RecvRec):
         yield send.arrived
         machine = self.machine
         if send.intra and send.eager:
-            # CICO copy-out of the staged message, paid by the receiver.
-            yield from machine.memory_copy(send.dst_node, send.nbytes)
+            # CICO copy-out of the staged message, paid by the receiver
+            # (memory_copy inlined).
+            machine.intra_copies += 1
+            machine.intra_bytes += send.nbytes
+            yield machine._memory[send.dst_node].transfer(2.0 * send.nbytes)
         try:
             payload = copy_into(recv.buf, send.payload)
         except ValueError as exc:

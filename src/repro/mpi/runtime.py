@@ -184,7 +184,24 @@ class JobResult:
 
 
 class MPIJob:
-    """One simulated MPI execution."""
+    """One simulated MPI execution.
+
+    Payload handling is selected by ``payload`` (preferred) or the
+    legacy ``payload_mode``:
+
+    * ``"full"`` / ``"data"`` — real NumPy buffers, element-checked
+      results (the default; used by the correctness tests);
+    * ``"model"`` — symbolic :class:`Bytes` markers, O(1) memory per
+      message;
+    * ``"cost-only"`` — like ``"model"`` but additionally skips all
+      send-time deep copies and receive-side copy bookkeeping.  Virtual
+      times, event counts, and span streams are bit-identical to the
+      other modes (the equivalence tests assert this); only wall-clock
+      cost changes.  Used by the benchmark sweeps.
+
+    ``fast_path=False`` selects the engine's legacy heap-only scheduler
+    (same results, slower) — exposed for the equivalence tests.
+    """
 
     def __init__(
         self,
@@ -193,6 +210,7 @@ class MPIJob:
         nprocs: int | None = None,
         placement: Placement | None = None,
         payload_mode: str = "data",
+        payload: str | None = None,
         tuning: CollectiveTuning | None = None,
         policy: SelectionPolicy | str | None = None,
         trace: bool | str | Tracer = False,
@@ -201,13 +219,18 @@ class MPIJob:
         noise: NoiseModel | None = None,
         program_args: tuple = (),
         program_kwargs: dict | None = None,
+        fast_path: bool = True,
     ):
-        if payload_mode not in ("data", "model"):
-            raise ValueError("payload_mode must be 'data' or 'model'")
+        if payload is not None:
+            payload_mode = {"full": "data"}.get(payload, payload)
+        if payload_mode not in ("data", "model", "cost-only"):
+            raise ValueError(
+                "payload mode must be 'data'/'full', 'model', or 'cost-only'"
+            )
         if placement is None:
             if nprocs is None:
                 raise ValueError("pass nprocs or an explicit placement")
-        self.engine = Engine()
+        self.engine = Engine(fast_path=fast_path)
         self.machine = Machine(
             self.engine, spec, link_contention=link_contention
         )
@@ -227,7 +250,8 @@ class MPIJob:
         else:
             self.tracer = Tracer() if trace else None
         self.msg_engine = MessageEngine(
-            self.engine, self.machine, tracer=self.tracer
+            self.engine, self.machine, tracer=self.tracer,
+            cost_only=payload_mode == "cost-only",
         )
         self.payload_mode = payload_mode
         self.tuning = tuning or tuning_for_machine(spec.name)

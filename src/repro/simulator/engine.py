@@ -31,8 +31,11 @@ Design notes
 
 from __future__ import annotations
 
+import gc
 import heapq
+from collections import deque
 from collections.abc import Generator, Iterable
+from types import GeneratorType
 from typing import Any, Callable
 
 __all__ = [
@@ -92,15 +95,22 @@ class Event:
     stored value.
     """
 
-    __slots__ = ("engine", "callbacks", "_state", "_value", "_exc", "name")
+    __slots__ = (
+        "engine", "callbacks", "_state", "_value", "_exc", "name", "_poolable",
+    )
 
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
-        self.callbacks: list[Callable[[Event], None]] | None = []
+        # Lazily created: None both before the first subscriber (most
+        # events never get more than one, many get none) and after
+        # processing.  ``_state`` — not ``callbacks`` — distinguishes
+        # the two.
+        self.callbacks: list[Callable[[Event], None]] | None = None
         self._state = _PENDING
         self._value: Any = None
         self._exc: BaseException | None = None
         self.name = name
+        self._poolable = False
 
     # -- inspection ------------------------------------------------------
     @property
@@ -134,7 +144,13 @@ class Event:
             raise SimulationError(f"event {self.name!r} already triggered")
         self._state = _TRIGGERED
         self._value = value
-        self.engine._queue_triggered(self)
+        # Inlined _queue_triggered: succeed() fires once per message event
+        # in the hot loops.
+        engine = self.engine
+        if engine.fast_path:
+            engine._defer(self)
+        else:
+            engine._push(engine.now, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -145,7 +161,11 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._state = _TRIGGERED
         self._exc = exc
-        self.engine._queue_triggered(self)
+        engine = self.engine
+        if engine.fast_path:
+            engine._defer(self)
+        else:
+            engine._push(engine.now, self)
         return self
 
     # -- wiring ----------------------------------------------------------
@@ -156,11 +176,14 @@ class Event:
         run at the current virtual time (never synchronously), preserving
         run-to-completion semantics for the caller.
         """
-        if self._state == _PROCESSED:
-            self.engine._schedule_call(lambda: fn(self))
+        cbs = self.callbacks
+        if cbs is None:
+            if self._state != _PROCESSED:
+                self.callbacks = [fn]
+            else:  # already processed: run at current time, async
+                self.engine._schedule_call(lambda: fn(self))
         else:
-            assert self.callbacks is not None
-            self.callbacks.append(fn)
+            cbs.append(fn)
 
     def _process(self) -> None:
         self._state = _PROCESSED
@@ -192,21 +215,30 @@ class AllOf:
         if remaining == 0:
             done.succeed([])
             return
-        state = {"left": remaining, "failed": False}
+        left = remaining
+        failed = False
 
         def on_child(ev: Event) -> None:
-            if state["failed"] or done.triggered:
+            nonlocal left, failed
+            if failed or done._state != _PENDING:
                 return
-            if not ev.ok:
-                state["failed"] = True
-                done.fail(ev._exc)  # type: ignore[arg-type]
+            if ev._exc is not None:
+                failed = True
+                done.fail(ev._exc)
                 return
-            state["left"] -= 1
-            if state["left"] == 0:
+            left -= 1
+            if left == 0:
                 done.succeed([e._value for e in self.events])
 
         for ev in self.events:
-            ev.add_callback(on_child)
+            cbs = ev.callbacks
+            if cbs is None:
+                if ev._state != _PROCESSED:
+                    ev.callbacks = [on_child]
+                else:  # already processed
+                    ev.add_callback(on_child)
+            else:
+                cbs.append(on_child)
 
 
 class AnyOf:
@@ -224,16 +256,23 @@ class AnyOf:
             raise ValueError("AnyOf requires at least one event")
 
     def _subscribe(self, engine: "Engine", done: Event) -> None:
-        def on_child(ev: Event) -> None:
-            if done.triggered:
-                return
-            if not ev.ok:
-                done.fail(ev._exc)  # type: ignore[arg-type]
-                return
-            done.succeed((self.events.index(ev), ev._value))
+        # The winning index is fixed per subscription (one closure per
+        # position) rather than recovered via ``events.index(ev)``: the
+        # scan was O(n) per wakeup and always reported the *first*
+        # occurrence when the same event was listed twice.
+        def subscribe_at(index: int, ev: Event) -> None:
+            def on_child(ev: Event) -> None:
+                if done.triggered:
+                    return
+                if not ev.ok:
+                    done.fail(ev._exc)  # type: ignore[arg-type]
+                    return
+                done.succeed((index, ev._value))
 
-        for ev in self.events:
             ev.add_callback(on_child)
+
+        for index, ev in enumerate(self.events):
+            subscribe_at(index, ev)
 
 
 class Process(Event):
@@ -247,15 +286,58 @@ class Process(Event):
         result = yield child
     """
 
-    __slots__ = ("generator", "_waiting_on", "_alive")
+    __slots__ = ("generator", "_waiting_on", "_alive", "_resume_cb")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
-        super().__init__(engine, name or getattr(generator, "__name__", "process"))
+        # Slots are assigned inline (not via Event.__init__): processes are
+        # created per message transfer in the hot paths.
+        self.engine = engine
+        self.callbacks = None
+        self._state = _PENDING
+        self._value = None
+        self._exc = None
+        self._poolable = False
+        self.name = name or getattr(generator, "__name__", "process")
         self.generator = generator
         self._waiting_on: Event | None = None
         self._alive = True
+        # One bound method for the lifetime of the process: registered on
+        # every waited-on event and removable by identity on interrupt.
+        self._resume_cb = self._resume_from
         engine._live_processes.add(self)
-        engine._schedule_call(lambda: self._step(None, None))
+        if engine.fast_path:
+            engine._defer(self._first_step)
+        else:
+            engine._schedule_call(self._first_step)
+
+    def _first_step(self) -> None:
+        # Fused initial advance (same shape as _resume_from): one frame
+        # for the first generator.send and the first wait subscription.
+        # One call per spawned process — at paper scale that is one per
+        # simulated message transfer.
+        if not self._alive:
+            return
+        try:
+            target = self.generator.send(None)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into event
+            self._finish_fail(exc)
+            return
+        if type(target) is Event or isinstance(target, Event):
+            self._waiting_on = target
+            cbs = target.callbacks
+            if cbs is None:
+                if target._state != _PROCESSED:
+                    target.callbacks = [self._resume_cb]
+                else:  # already processed: resume at current time
+                    cb = self._resume_cb
+                    self.engine._schedule_call(lambda: cb(target))
+            else:
+                cbs.append(self._resume_cb)
+            return
+        self._wait_on(target)
 
     @property
     def is_alive(self) -> bool:
@@ -269,7 +351,16 @@ class Process(Event):
         target = self._waiting_on
         if target is not None and not target.triggered:
             # Detach from whatever we were waiting on; resume with Interrupt.
+            # The callback must come off the old target's list too, or every
+            # interrupt would leave a dead entry behind for the rest of the
+            # target's life (unbounded growth on long-lived events).
             self._waiting_on = None
+            callbacks = target.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._resume_cb)
+                except ValueError:  # pragma: no cover - already detached
+                    pass
         self.engine._schedule_call(
             lambda: self._step(None, Interrupt(cause)) if self._alive else None
         )
@@ -293,45 +384,105 @@ class Process(Event):
         self._wait_on(target)
 
     def _wait_on(self, target: Any) -> None:
-        if isinstance(target, (AllOf, AnyOf)):
-            gate = Event(self.engine, name=f"{self.name}:gate")
-            target._subscribe(self.engine, gate)
-            target = gate
-        if not isinstance(target, Event):
-            self._finish_fail(
-                SimulationError(
-                    f"process {self.name!r} yielded non-waitable {target!r}"
-                )
-            )
+        # Plain events (and processes) are the overwhelmingly common yield
+        # target — test for them first.
+        if isinstance(target, Event):
+            self._waiting_on = target
+            cbs = target.callbacks
+            if cbs is None:
+                if target._state != _PROCESSED:
+                    target.callbacks = [self._resume_cb]
+                else:  # already processed: resume at current time
+                    cb = self._resume_cb
+                    self.engine._schedule_call(lambda: cb(target))
+            else:
+                cbs.append(self._resume_cb)
             return
-        self._waiting_on = target
-        target.add_callback(self._resume_from)
+        if isinstance(target, (AllOf, AnyOf)):
+            gate = Event(self.engine, name="gate")
+            target._subscribe(self.engine, gate)
+            self._waiting_on = gate
+            gate.add_callback(self._resume_cb)
+            return
+        self._finish_fail(
+            SimulationError(
+                f"process {self.name!r} yielded non-waitable {target!r}"
+            )
+        )
 
     def _resume_from(self, ev: Event) -> None:
+        # Fused resume path: the bodies of _step/_wait_on/add_callback in
+        # one frame.  One call per processed event with a waiter — the
+        # hottest code in the simulator; the general versions above remain
+        # for first steps, interrupts, and composite targets.
         if not self._alive or self._waiting_on is not ev:
             return  # stale callback (e.g. after interrupt)
-        if ev.ok:
-            self._step(ev._value, None)
-        else:
-            self._step(None, ev._exc)
+        self._waiting_on = None
+        try:
+            if ev._exc is None:
+                target = self.generator.send(ev._value)
+            else:
+                target = self.generator.throw(ev._exc)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into event
+            self._finish_fail(exc)
+            return
+        if type(target) is Event or isinstance(target, Event):
+            self._waiting_on = target
+            cbs = target.callbacks
+            if cbs is None:
+                if target._state != _PROCESSED:
+                    target.callbacks = [self._resume_cb]
+                else:  # already processed: resume at current time
+                    cb = self._resume_cb
+                    self.engine._schedule_call(lambda: cb(target))
+            else:
+                cbs.append(self._resume_cb)
+            return
+        self._wait_on(target)
 
     def _finish_ok(self, value: Any) -> None:
         self._alive = False
-        self.engine._live_processes.discard(self)
-        self.succeed(value)
+        engine = self.engine
+        engine._live_processes.discard(self)
+        # Drop the cached bound method: it closes the Process->method->
+        # Process reference cycle, letting refcounting (not the cyclic GC)
+        # reclaim finished processes.
+        self._resume_cb = None
+        # Inlined succeed() — the already-triggered check cannot fire (a
+        # process event triggers exactly once, here).
+        self._state = _TRIGGERED
+        self._value = value
+        if engine.fast_path:
+            engine._defer(self)
+        else:
+            engine._push(engine.now, self)
 
     def _finish_fail(self, exc: BaseException) -> None:
         self._alive = False
-        self.engine._live_processes.discard(self)
-        self.fail(exc)
+        engine = self.engine
+        engine._live_processes.discard(self)
+        self._resume_cb = None
+        self._state = _TRIGGERED
+        self._exc = exc
+        if engine.fast_path:
+            engine._defer(self)
+        else:
+            engine._push(engine.now, self)
 
     def _process(self) -> None:
         # A failing process with no waiters at processing time is a lost
         # crash — surface it.  (Waiters subscribing between the failure
-        # and this tick still count.)
-        had_waiters = bool(self.callbacks)
-        super()._process()
-        if self._exc is not None and not had_waiters:
+        # and this tick still count.)  Inlines Event._process.
+        self._state = _PROCESSED
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+        elif self._exc is not None:
             self.engine._unhandled.append((self, self._exc))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -345,12 +496,44 @@ class Engine:
     ----------
     now:
         Current virtual time (seconds by convention throughout
-        :mod:`repro`; the engine itself is unit-agnostic).
+    :mod:`repro`; the engine itself is unit-agnostic).
+
+    Scheduling has two equivalent implementations selected by
+    ``fast_path`` (default on):
+
+    * the *legacy* path keeps every entry — including the throwaway
+      ``call`` events behind :meth:`_schedule_call` — on the ``(time,
+      seq)`` binary heap;
+    * the *fast* path keeps a plain FIFO of everything scheduled *at the
+      current time* and only uses the heap for entries in the strict
+      future.  Deferred calls are stored as bare callables, so resuming
+      a process or running a queued callback allocates no
+      :class:`Event` at all.
+
+    The fast path needs no per-entry sequence numbers: virtual time only
+    advances (via the heap) once the FIFO is empty, so every heap entry
+    that is due at the current time was necessarily scheduled *before*
+    any entry currently in the FIFO and therefore always precedes it in
+    ``(time, seq)`` order.  Heap entries keep the seq tiebreak among
+    themselves.  Both paths process entries in exactly the same
+    ``(time, seq)`` order, so :attr:`event_count`, every virtual
+    timestamp, and the observability span streams are bit-identical
+    between them (the equivalence tests assert this on the paper-figure
+    configs).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fast_path: bool = True) -> None:
         self.now: float = 0.0
+        self.fast_path = fast_path
         self._heap: list[tuple[float, int, Event]] = []
+        #: Same-time FIFO (fast path): bare Events or callables.
+        #: Invariant: every entry was scheduled at the *current* time, so
+        #: the queue must drain before virtual time may advance.
+        self._deferred: deque[Any] = deque()
+        #: Bound-method cache for the hottest operation in the simulator
+        #: (one deque append per scheduled entry).
+        self._defer = self._deferred.append
+        self._pause_pool: list[Event] = []
         self._seq = 0
         self._live_processes: set[Process] = set()
         self._unhandled: list[tuple[Process, BaseException]] = []
@@ -371,9 +554,45 @@ class Engine:
         self._push(self.now + delay, ev)
         return ev
 
+    def pause(self, delay: float, value: Any = None) -> Event:
+        """A pooled :meth:`timeout` for internal hot loops.
+
+        The returned event MUST be yielded immediately and never stored:
+        it is recycled into a free list the moment it is processed, so a
+        held reference would observe an unrelated later pause.  Public
+        code should keep using :meth:`timeout`, whose events are safe to
+        retain (e.g. to read ``.value`` afterwards).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        pool = self._pause_pool
+        if pool:
+            ev = pool.pop()
+            # callbacks is already None (reset when the event processed)
+            ev._state = _TRIGGERED
+            ev._value = value
+            ev._exc = None
+        else:
+            ev = Event(self, name="pause")
+            ev._state = _TRIGGERED
+            ev._value = value
+            if self.fast_path:
+                ev._poolable = True
+        time = self.now + delay
+        if self.fast_path and time <= self.now:
+            self._defer(ev)
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (time, self._seq, ev))
+        return ev
+
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a new process executing *generator*."""
-        if not isinstance(generator, Generator):
+        # Exact-type check first: the ABC isinstance goes through
+        # __instancecheck__ and is measurably slower in the hot paths.
+        if type(generator) is not GeneratorType and not isinstance(
+            generator, Generator
+        ):
             raise TypeError(
                 "spawn() expects a generator (did you forget to call the "
                 "generator function?)"
@@ -382,27 +601,67 @@ class Engine:
 
     # -- scheduling internals --------------------------------------------
     def _push(self, time: float, ev: Event) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, ev))
+        if self.fast_path and time <= self.now:
+            self._defer(ev)
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (time, self._seq, ev))
 
     def _queue_triggered(self, ev: Event) -> None:
-        self._push(self.now, ev)
+        if self.fast_path:
+            self._defer(ev)
+        else:
+            self._push(self.now, ev)
 
     def _schedule_call(self, fn: Callable[[], None]) -> None:
-        ev = Event(self, name="call")
-        ev._state = _TRIGGERED
-        ev.add_callback(lambda _ev: fn())
-        self._push(self.now, ev)
+        if self.fast_path:
+            self._defer(fn)
+        else:
+            ev = Event(self, name="call")
+            ev._state = _TRIGGERED
+            ev.add_callback(lambda _ev: fn())
+            self._push(self.now, ev)
 
     # -- run loop ----------------------------------------------------------
     def step(self) -> None:
-        """Process one scheduled event."""
-        time, _seq, ev = heapq.heappop(self._heap)
-        if time < self.now:  # pragma: no cover - defensive
-            raise SimulationError("time went backwards")
-        self.now = time
+        """Process one scheduled event (or deferred call).
+
+        Pops the globally next ``(time, seq)`` entry, advancing ``now``.
+        Deferred entries are all at the current time; a heap entry due
+        now was scheduled before any of them (time could not have
+        advanced otherwise) and therefore precedes them.
+        """
+        deferred = self._deferred
+        if deferred:
+            heap = self._heap
+            if heap and heap[0][0] <= self.now:
+                entry = heapq.heappop(heap)
+                self.now = entry[0]
+                item = entry[2]
+            else:
+                item = deferred.popleft()
+        else:
+            time, _seq, item = heapq.heappop(self._heap)
+            if time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("time went backwards")
+            self.now = time
         self._event_count += 1
-        ev._process()
+        # Plain events are processed inline (the _process body), sparing a
+        # call per event; Process overrides _process, so subclasses take
+        # the virtual dispatch.
+        if type(item) is Event:
+            item._state = _PROCESSED
+            callbacks = item.callbacks
+            item.callbacks = None
+            if callbacks:
+                for fn in callbacks:
+                    fn(item)
+            if item._poolable:
+                self._pause_pool.append(item)
+        elif isinstance(item, Event):
+            item._process()
+        else:
+            item()
         if self._unhandled:
             proc, exc = self._unhandled[0]
             raise SimulationError(
@@ -419,13 +678,86 @@ class Engine:
         SimulationError
             If a process with no waiter raises an exception.
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        # Fully fused event loop: the bodies of step() and Event._process
+        # are inlined and ``now``/``event_count`` are carried in locals —
+        # per-event attribute traffic is what dominates at paper scale.
+        # step() remains the semantic reference for one iteration.
+        deferred = self._deferred
+        heap = self._heap
+        pool = self._pause_pool
+        unhandled = self._unhandled
+        heappop = heapq.heappop
+        now = self.now
+        count = 0
+        # The run loop allocates heavily but — with the Process reference
+        # cycle broken at finish — produces almost no cyclic garbage, so
+        # the collector only burns time rescanning live objects.  Pause it
+        # for the duration (restored even on error).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while True:
+                if deferred:
+                    item = deferred.popleft()
+                elif heap:
+                    time = heap[0][0]
+                    if time < now:  # pragma: no cover - defensive
+                        raise SimulationError("time went backwards")
+                    if until is not None and time > until:
+                        # Deferred entries are always at ``now`` <= until;
+                        # only a heap advance can cross the boundary.
+                        self.now = until
+                        return
+                    item = heappop(heap)[2]
+                    self.now = now = time
+                    # Drain every other entry due at this same time into
+                    # the FIFO up front.  They were all scheduled before
+                    # anything the processing below can enqueue — on the
+                    # fast path a push at <= now always goes to the FIFO
+                    # (so no new same-time heap entry can appear), and on
+                    # the legacy path new same-time pushes carry higher
+                    # seqs and correctly sort after the drained batch.
+                    # This keeps deferred pops free of any heap check.
+                    while heap and heap[0][0] == time:
+                        deferred.append(heappop(heap)[2])
+                else:
+                    break
+                count += 1
+                if type(item) is Event:
+                    item._state = _PROCESSED
+                    callbacks = item.callbacks
+                    item.callbacks = None
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(item)
+                    if item._poolable:
+                        pool.append(item)
+                elif type(item) is Process:
+                    # Inlined Process._process.
+                    item._state = _PROCESSED
+                    callbacks = item.callbacks
+                    item.callbacks = None
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(item)
+                    elif item._exc is not None:
+                        unhandled.append((item, item._exc))
+                elif isinstance(item, Event):
+                    item._process()
+                else:
+                    item()
+                if unhandled:
+                    proc, exc = unhandled[0]
+                    raise SimulationError(
+                        f"unhandled exception in process {proc.name!r}"
+                    ) from exc
+            if until is not None:
                 self.now = until
-                return
-            self.step()
-        if until is not None:
-            self.now = until
+        finally:
+            self._event_count += count
+            if gc_was_enabled:
+                gc.enable()
         if self._live_processes:
             raise DeadlockError(sorted(self._live_processes, key=lambda p: p.name))
 

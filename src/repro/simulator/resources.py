@@ -19,7 +19,13 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.simulator.engine import Engine, Event, SimulationError
+from repro.simulator.engine import (
+    _TRIGGERED,
+    Engine,
+    Event,
+    Process,
+    SimulationError,
+)
 
 __all__ = ["Resource", "BandwidthChannel", "TokenBucket"]
 
@@ -42,6 +48,7 @@ class Resource:
         self.engine = engine
         self.capacity = capacity
         self.name = name
+        self._acquire_name = name + ".acquire"
         self._in_use = 0
         self._waiters: deque[tuple[Event, int]] = deque()
 
@@ -61,10 +68,19 @@ class Resource:
             raise ValueError(
                 f"acquire({amount}) invalid for capacity {self.capacity}"
             )
-        ev = Event(self.engine, name=f"{self.name}.acquire")
+        engine = self.engine
+        ev = Event(engine, name=self._acquire_name)
         if not self._waiters and self._in_use + amount <= self.capacity:
             self._in_use += amount
-            ev.succeed(amount)
+            # Inlined Event.succeed (the event is fresh, so the
+            # already-triggered check cannot fire) — one grant per
+            # simulated transfer makes this a hot path.
+            ev._state = _TRIGGERED
+            ev._value = amount
+            if engine.fast_path:
+                engine._deferred.append(ev)
+            else:
+                engine._push(engine.now, ev)
         else:
             self._waiters.append((ev, amount))
         return ev
@@ -76,13 +92,20 @@ class Resource:
                 f"release({amount}) with only {self._in_use} in use"
             )
         self._in_use -= amount
-        while self._waiters:
-            ev, want = self._waiters[0]
+        waiters = self._waiters
+        while waiters:
+            ev, want = waiters[0]
             if self._in_use + want > self.capacity:
                 break
-            self._waiters.popleft()
+            waiters.popleft()
             self._in_use += want
-            ev.succeed(want)
+            ev._state = _TRIGGERED
+            ev._value = want
+            engine = self.engine
+            if engine.fast_path:
+                engine._deferred.append(ev)
+            else:
+                engine._push(engine.now, ev)
 
 
 class BandwidthChannel:
@@ -113,40 +136,60 @@ class BandwidthChannel:
         self.streams = int(streams)
         self.name = name
         self._slots = Resource(engine, self.streams, name=f"{name}.slots")
+        self._xfer_name = name + ".xfer"
+        self._stream_bw = self.bandwidth / self.streams
         self.bytes_moved = 0.0
         self.busy_time = 0.0
 
     @property
     def stream_bandwidth(self) -> float:
         """Bytes/second available to a single transfer."""
-        return self.bandwidth / self.streams
+        return self._stream_bw
 
     def transfer_time(self, nbytes: float) -> float:
         """Uncontended duration of a transfer of *nbytes*."""
-        return nbytes / self.stream_bandwidth
+        return nbytes / self._stream_bw
 
     def transfer(self, nbytes: float) -> "Event":
         """Move *nbytes* through the channel; returns a completion event.
 
-        Implemented as a helper process so callers simply
-        ``yield channel.transfer(n)``.
+        Hand-rolled state machine (``yield channel.transfer(n)`` from the
+        caller's side, as before).  The queue entries it creates — start
+        call, grant event, optional pause, completion event — are exactly
+        those the equivalent generator process used to create, in the
+        same order, so ``event_count`` and all timings are unchanged;
+        only the per-transfer :class:`Process`/generator-frame overhead
+        is gone (one transfer per simulated message copy makes this one
+        of the hottest allocation sites in the simulator).
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        engine = self.engine
+        done = Event(engine, self._xfer_name)
 
-        def _xfer():
-            yield self._slots.acquire()
-            try:
-                duration = self.transfer_time(nbytes)
-                self.bytes_moved += nbytes
-                self.busy_time += duration
-                if duration > 0:
-                    yield self.engine.timeout(duration)
-            finally:
-                self._slots.release()
-            return nbytes
+        def finished(_ev: Event) -> None:
+            self._slots.release()
+            done.succeed(nbytes)
 
-        return self.engine.spawn(_xfer(), name=f"{self.name}.xfer")
+        def granted(ev: Event) -> None:
+            duration = nbytes / self._stream_bw
+            self.bytes_moved += nbytes
+            self.busy_time += duration
+            if duration > 0:
+                # Fresh (or pooled-and-reset) pause events have no
+                # callback list yet — install ours directly.
+                engine.pause(duration).callbacks = [finished]
+            else:
+                finished(ev)
+
+        def start() -> None:
+            # The grant event was created by acquire() a moment ago: it
+            # is pending or just-triggered, never processed, and has no
+            # subscribers yet.
+            self._slots.acquire().callbacks = [granted]
+
+        engine._schedule_call(start)
+        return done
 
     @property
     def queued(self) -> int:
@@ -179,6 +222,7 @@ class TokenBucket:
         self.rate = float(rate)
         self.capacity = float(capacity)
         self.name = name
+        self._take_name = name + ".take"
         self._tokens = float(capacity)
         self._last = 0.0
         self._queue_release_time = 0.0
@@ -207,8 +251,8 @@ class TokenBucket:
             start = max(self.engine.now, self._queue_release_time)
             release = start + wait
             self._queue_release_time = release
-            yield self.engine.timeout(release - self.engine.now)
+            yield self.engine.pause(release - self.engine.now)
             self._last = self.engine.now
             return wait
 
-        return self.engine.spawn(_take(), name=f"{self.name}.take")
+        return Process(self.engine, _take(), self._take_name)

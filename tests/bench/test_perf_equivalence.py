@@ -1,0 +1,114 @@
+"""Fast-path / payload-mode equivalence on Fig 7/9/10-shaped configs.
+
+The engine fast path and the cost-only payload mode are pure wall-clock
+optimizations: virtual-time latencies, the number of processed events,
+and the span stream must be *bit-identical* to the legacy scheduler
+running full-data payloads.  These tests pin that contract on scaled-
+down versions of the three benchmarked figure configurations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.bench.osu import (
+    hybrid_allgather_program,
+    pure_allgather_program,
+)
+from repro.machine.placement import Placement
+from repro.machine.presets import hazel_hen
+from repro.mpi import run_program
+
+# (id, nodes-spec, placement, elements, variant, program options) —
+# miniatures of the repro-perf configs (docs/performance.md).
+CONFIGS = [
+    ("fig7-hybrid", 1, Placement.block(1, 8), 64, "hybrid", {}),
+    ("fig7-pure", 1, Placement.block(1, 8), 64, "pure", {}),
+    ("fig9-hybrid", 2, Placement.block(2, 6), 512, "hybrid", {}),
+    ("fig9-pure", 2, Placement.block(2, 6), 512, "pure", {}),
+    ("fig10-hybrid", 3, Placement.irregular([6, 6, 4]), 128, "hybrid", {}),
+    ("fig10-pure", 3, Placement.irregular([6, 6, 4]), 128, "pure",
+     {"irregular": True}),
+]
+
+# Every cheap combination that must reproduce the reference
+# (fast_path=False + full data payloads) exactly.
+COMBOS = [
+    pytest.param(True, "full", id="fast-full"),
+    pytest.param(False, "cost-only", id="legacy-costonly"),
+    pytest.param(True, "cost-only", id="fast-costonly"),
+]
+
+
+def _run(nodes, placement, elements, variant, options, fast_path, payload):
+    program = (hybrid_allgather_program if variant == "hybrid"
+               else pure_allgather_program)
+    result = run_program(
+        hazel_hen(nodes), None, program,
+        placement=placement,
+        payload=payload,
+        fast_path=fast_path,
+        trace="p2p",
+        program_kwargs={"nbytes_per_rank": elements * 8, **options},
+    )
+    span_hash = hashlib.sha256(
+        json.dumps(result.trace, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+    return result, span_hash
+
+
+@pytest.fixture(scope="module")
+def reference():
+    cache: dict[str, tuple] = {}
+
+    def get(cfg):
+        cfg_id, nodes, placement, elements, variant, options = cfg
+        if cfg_id not in cache:
+            cache[cfg_id] = _run(
+                nodes, placement, elements, variant, options,
+                fast_path=False, payload="full",
+            )
+        return cache[cfg_id]
+
+    return get
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=[c[0] for c in CONFIGS])
+@pytest.mark.parametrize("fast_path,payload", COMBOS)
+def test_bit_identical_to_reference(cfg, fast_path, payload, reference):
+    ref, ref_hash = reference(cfg)
+    _cfg_id, nodes, placement, elements, variant, options = cfg
+    result, span_hash = _run(
+        nodes, placement, elements, variant, options, fast_path, payload
+    )
+    # Same number of processed events: the fast path may not add or
+    # remove queue entries, only schedule them more cheaply.
+    assert result.events_processed == ref.events_processed
+    # Exact (not approximate) virtual-time equality on every rank.
+    assert result.returns == ref.returns
+    assert result.elapsed == ref.elapsed
+    assert result.finish_times == ref.finish_times
+    # The traffic accounting must agree too.
+    assert result.sent_messages == ref.sent_messages
+    assert result.sent_bytes == ref.sent_bytes
+    assert result.network_bytes == ref.network_bytes
+    # Span streams (p2p detail: dispatch + phase + queue-wait records)
+    # are compared as a whole-stream hash: same records, same order,
+    # same virtual timestamps.
+    assert span_hash == ref_hash
+
+
+def test_cost_only_skips_payload_storage():
+    """cost-only mode must keep byte accounting while eliding data."""
+    cfg_id, nodes, placement, elements, variant, options = CONFIGS[1]
+    full, _ = _run(nodes, placement, elements, variant, options,
+                   True, "full")
+    cheap, _ = _run(nodes, placement, elements, variant, options,
+                    True, "cost-only")
+    assert cheap.sent_bytes == full.sent_bytes > 0
+    # Full mode returns latencies as well -- both paths measured the
+    # same virtual experiment.
+    assert cheap.returns == full.returns
