@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Analytic-model crossover sweep — Fig 10 far beyond simulator reach.
+
+Prices the hybrid (shared-window) vs pure-MPI allgatherv with the
+closed-form model in :mod:`repro.analysis.model` at 4k, 65k and one
+MILLION ranks — populations the discrete-event simulator cannot touch —
+and prints the message sizes where the hybrid overtakes the pure
+collective, plus the wall-clock the whole sweep took (milliseconds,
+which is the point of the fast lane).
+
+Run:  python examples/model_sweep.py [ranks...]
+"""
+
+import sys
+
+from repro.bench.model import SWEEP_SIZES, run_sweep
+
+RANKS = (4096, 65_536, 1_000_000)
+
+
+def main():
+    ranks = tuple(int(a) for a in sys.argv[1:]) or RANKS
+    sweep = run_sweep(ranks=ranks, sizes=SWEEP_SIZES)
+    for nranks, m in sweep["maps"].items():
+        print(f"{int(nranks):>9,} ranks on {m['nodes']:>6,} nodes "
+              f"({m['op']}):")
+        for row in m["rows"]:
+            print(f"  {row['nbytes']:>7} B/rank  "
+                  f"pure {row['pure_s'] * 1e3:>10.2f} ms "
+                  f"({row['pure_algo']:>16})  "
+                  f"hybrid {row['hybrid_s'] * 1e3:>10.2f} ms "
+                  f"({row['hybrid_algo']:>14})  "
+                  f"{row['speedup']:>5.2f}x")
+        xs = m["crossover_nbytes"]
+        if xs:
+            print("  hybrid overtakes pure at: "
+                  + ", ".join(f"{x:,.0f} B" for x in xs))
+        else:
+            print("  no crossover in swept range")
+    pts = sum(len(m["rows"]) for m in sweep["maps"].values())
+    print(f"priced {pts} points in {sweep['wall_s'] * 1e3:.0f} ms "
+          f"wall-clock (no simulation run)")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,5 +5,23 @@ from repro.analysis.critical_path import (
     critical_path_report,
     format_report,
 )
+from repro.analysis.model import (
+    MODEL_FORMS,
+    CostModel,
+    crossover_points,
+    model_for_comm,
+    predict,
+    predict_comm,
+)
 
-__all__ = ["CriticalPathReport", "critical_path_report", "format_report"]
+__all__ = [
+    "CriticalPathReport",
+    "critical_path_report",
+    "format_report",
+    "MODEL_FORMS",
+    "CostModel",
+    "crossover_points",
+    "model_for_comm",
+    "predict",
+    "predict_comm",
+]

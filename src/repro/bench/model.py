@@ -1,0 +1,282 @@
+"""Analytic-model bench CLI (``repro-model``).
+
+Two subjects, both priced entirely by :mod:`repro.analysis.model` —
+no simulation runs, which is what makes 10k–1M-rank sweeps take
+milliseconds:
+
+* ``sweep`` — Fig-7/9/10-style hybrid-vs-pure allgather crossover maps
+  at rank counts the DES cannot reach (default 10k/65k/1M ranks),
+  printing per-size latencies, the crossover message sizes, and the
+  wall-clock the sweep itself took;
+* ``report`` — divergence of the model against the committed
+  ``BENCH_<label>.json`` latencies at the repository root, written as a
+  JSON artifact for CI.
+
+Usage::
+
+    repro-model sweep                   # 10k/65k/1M-rank crossover maps
+    repro-model sweep --ranks 4096
+    repro-model report --out model_divergence.json
+    repro-model                         # sweep + report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from typing import Any
+
+from repro.analysis.model import CostModel, crossover_points
+from repro.machine.presets import hazel_hen, vulcan
+from repro.mpi.collectives.tuning import tuning_for_machine
+
+__all__ = ["model_best", "sweep_config", "run_sweep", "run_report",
+           "main"]
+
+#: Message sizes swept (bytes per rank), eager through pipeline regime.
+SWEEP_SIZES = tuple(8 * (1 << k) for k in range(0, 15))  # 8 B .. 128 KiB
+
+#: Fig-10-style irregular populations at simulator-unreachable scale.
+SWEEP_RANKS = (10_000, 65_536, 1_000_000)
+
+
+def _fig10_counts(nranks: int, ppn: int = 24) -> list[int]:
+    """Fig 10's irregular population at *nranks*: full nodes of *ppn*
+    ranks plus one straggler node holding the remainder."""
+    full, rem = divmod(nranks, ppn)
+    return [ppn] * full + ([rem] if rem else [])
+
+
+def model_best(model: CostModel, op: str, nbytes: float,
+               candidates: list[str]) -> tuple[str, float]:
+    """(algo, seconds) minimizing the model over *candidates*."""
+    best = None
+    for name in candidates:
+        t = model.predict(op, name, nbytes)
+        if best is None or t < best[1]:
+            best = (name, t)
+    assert best is not None
+    return best
+
+
+def _pure_candidates(model: CostModel, irregular: bool) -> list[str]:
+    """Structurally-applicable pure-MPI allgather(v) algorithms."""
+    hier = model.N > 1 and model.q > 1
+    if irregular:
+        cands = ["bruck_v", "ring_v", "gather_bcast"]
+        if hier:
+            cands.append("smp_hierarchical")
+        return cands
+    cands = ["bruck", "ring"]
+    if model.p > 0 and model.p & (model.p - 1) == 0:
+        cands.append("recursive_doubling")
+    if hier:
+        cands += ["smp_hierarchical", "multileader"]
+    return cands
+
+
+def _hybrid_candidates(model: CostModel) -> list[str]:
+    cands = ["shared_window"]
+    if model.N > 1:
+        cands.append("pipelined_ring")
+    return cands
+
+
+def _table_pure_algo(model: CostModel, irregular: bool,
+                     nbytes: float) -> str:
+    """The allgather(v) algorithm ``TableSelection`` — the default DES
+    policy the committed BENCH numbers were measured under — picks."""
+    tuning = model.tuning
+    total = nbytes * model.p
+    smp = tuning.smp_aware and model.N > 1 and model.q > 1
+    if smp:
+        return "smp_hierarchical"
+    if irregular:
+        if total <= tuning.allgatherv_bruck_max_total:
+            return "bruck_v"
+        return "ring_v"
+    if (model.p & (model.p - 1) == 0
+            and total <= tuning.allgather_rd_max_total):
+        return "recursive_doubling"
+    if total <= tuning.allgather_bruck_max_total:
+        return "bruck"
+    return "ring"
+
+
+def sweep_config(nranks: int, machine: str = "hazel_hen"):
+    """The Fig-10-style (spec, counts) pair at *nranks* total ranks."""
+    counts = _fig10_counts(nranks)
+    factory = {"hazel_hen": hazel_hen, "vulcan": vulcan}[machine]
+    return factory(len(counts)), counts
+
+
+def run_sweep(ranks=SWEEP_RANKS, sizes=SWEEP_SIZES,
+              machine: str = "hazel_hen") -> dict[str, Any]:
+    """Crossover maps: per rank count, hybrid-vs-pure latency per size
+    and the message sizes where the curves cross."""
+    t0 = time.perf_counter()
+    out: dict[str, Any] = {"machine": machine, "maps": {}}
+    for nranks in ranks:
+        spec, counts = sweep_config(nranks, machine)
+        model = CostModel(spec, counts,
+                          tuning=tuning_for_machine(spec.name))
+        irregular = len(set(counts)) > 1
+        op = "allgatherv" if irregular else "allgather"
+        rows = []
+        pure_lat, hy_lat = [], []
+        for nbytes in sizes:
+            pure = model_best(model, op, nbytes,
+                              _pure_candidates(model, irregular))
+            hy = model_best(model, "hy_allgather", nbytes,
+                            _hybrid_candidates(model))
+            pure_lat.append(pure[1])
+            hy_lat.append(hy[1])
+            rows.append({
+                "nbytes": nbytes,
+                "pure_algo": pure[0], "pure_s": pure[1],
+                "hybrid_algo": hy[0], "hybrid_s": hy[1],
+                "speedup": pure[1] / hy[1],
+            })
+        out["maps"][str(nranks)] = {
+            "nodes": len(counts),
+            "op": op,
+            "rows": rows,
+            "crossover_nbytes": crossover_points(
+                [float(s) for s in sizes], hy_lat, pure_lat),
+        }
+    out["wall_s"] = round(time.perf_counter() - t0, 4)
+    return out
+
+
+def _parse_point(label: str, key: str) -> tuple[list[int], int, str]:
+    """(per-node counts, nbytes, variant) of one BENCH point key."""
+    shape, el, variant = key.split("/")
+    nbytes = int(el[:-2]) * 8
+    if shape.startswith("n"):
+        nodes, ppn = shape[1:].split("x")
+        counts = [int(ppn)] * int(nodes)
+    elif shape.startswith("r"):
+        # Fig 10 population: full 24-rank nodes + one 16-rank node.
+        ranks = int(shape[1:])
+        full, rem = divmod(ranks - 16, 24)
+        if rem:
+            raise ValueError(f"unrecognized fig10 shape {shape!r}")
+        counts = [24] * full + [16]
+    else:
+        raise ValueError(f"unrecognized point key {key!r}")
+    return counts, nbytes, variant
+
+
+def run_report(bench_dir: str = ".",
+               labels=("fig7", "fig9", "fig10")) -> dict[str, Any]:
+    """Model-vs-BENCH divergence for every committed point."""
+    report: dict[str, Any] = {"points": {}, "missing": []}
+    divs = []
+    for label in labels:
+        path = os.path.join(bench_dir, f"BENCH_{label}.json")
+        if not os.path.exists(path):
+            report["missing"].append(label)
+            continue
+        with open(path) as fh:
+            bench = json.load(fh)
+        for key, point in bench.get("points", {}).items():
+            counts, nbytes, variant = _parse_point(label, key)
+            spec = hazel_hen(len(counts))
+            model = CostModel(spec, counts,
+                              tuning=tuning_for_machine(spec.name))
+            irregular = len(set(counts)) > 1
+            if variant == "hybrid":
+                # The OSU hybrid program dispatches shared_window.
+                model_s = model.predict("hy_allgather", "shared_window",
+                                        nbytes)
+            else:
+                op = "allgatherv" if irregular else "allgather"
+                algo = _table_pure_algo(model, irregular, nbytes)
+                model_s = model.predict(op, algo, nbytes)
+            bench_s = point["latency_us"] / 1e6
+            div = (abs(model_s - bench_s) / bench_s
+                   if bench_s > 0 else math.inf)
+            divs.append(div)
+            report["points"][f"{label}/{key}"] = {
+                "bench_us": round(bench_s * 1e6, 3),
+                "model_us": round(model_s * 1e6, 3),
+                "divergence": round(div, 4),
+            }
+    if divs:
+        divs.sort()
+        report["median_divergence"] = round(divs[len(divs) // 2], 4)
+        report["worst_divergence"] = round(divs[-1], 4)
+    return report
+
+
+def _print_sweep(sweep: dict[str, Any]) -> None:
+    for nranks, m in sweep["maps"].items():
+        print(f"\n== {int(nranks):,} ranks on {m['nodes']:,} nodes "
+              f"({sweep['machine']}, {m['op']}) ==")
+        print(f"{'bytes/rank':>10}  {'pure':>12}  {'hybrid':>12}"
+              f"  {'speedup':>8}  algos")
+        for row in m["rows"]:
+            print(f"{row['nbytes']:>10}  {row['pure_s']*1e6:>10.1f}us"
+                  f"  {row['hybrid_s']*1e6:>10.1f}us"
+                  f"  {row['speedup']:>7.2f}x"
+                  f"  {row['pure_algo']} vs {row['hybrid_algo']}")
+        xs = m["crossover_nbytes"]
+        if xs:
+            pretty = ", ".join(f"{x:,.0f} B" for x in xs)
+            print(f"crossover (hybrid vs pure) at: {pretty}")
+        else:
+            print("no crossover in the swept size range")
+    print(f"\nswept {sum(len(m['rows']) for m in sweep['maps'].values())}"
+          f" points in {sweep['wall_s']:.3f}s wall-clock")
+
+
+def _print_report(report: dict[str, Any]) -> None:
+    if report["points"]:
+        print(f"\n== model vs committed BENCH latencies ==")
+        for key, row in report["points"].items():
+            print(f"{key:32s} bench {row['bench_us']:>10.2f}us  "
+                  f"model {row['model_us']:>10.2f}us  "
+                  f"div {row['divergence']:>7.1%}")
+        print(f"median divergence {report['median_divergence']:.1%}, "
+              f"worst {report['worst_divergence']:.1%}")
+    for label in report["missing"]:
+        print(f"BENCH_{label}.json not found — skipped")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-model", description=__doc__.split("\n\n")[0],
+    )
+    parser.add_argument("command", nargs="?", default="all",
+                        choices=("sweep", "report", "all"))
+    parser.add_argument("--ranks", type=int, nargs="*", default=None,
+                        help="rank counts to sweep (default 10k/65k/1M)")
+    parser.add_argument("--machine", default="hazel_hen",
+                        choices=("hazel_hen", "vulcan"))
+    parser.add_argument("--bench-dir", default=".",
+                        help="directory holding BENCH_<label>.json")
+    parser.add_argument("--out", default=None,
+                        help="write the combined JSON document here")
+    args = parser.parse_args(argv)
+
+    doc: dict[str, Any] = {}
+    if args.command in ("sweep", "all"):
+        ranks = tuple(args.ranks) if args.ranks else SWEEP_RANKS
+        doc["sweep"] = run_sweep(ranks=ranks, machine=args.machine)
+        _print_sweep(doc["sweep"])
+    if args.command in ("report", "all"):
+        doc["report"] = run_report(bench_dir=args.bench_dir)
+        _print_report(doc["report"])
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,15 @@ class NodeSpec:
     shm_latency: float = 3.0e-7
     cache_line: int = 64
 
+    @property
+    def copy_beta(self) -> float:
+        """Seconds/byte of one staged shared-memory copy on an
+        otherwise idle node: each copy streams ``2n`` bytes (read +
+        write) through one of the ``mem_streams`` full-rate streams.
+        This is the shm beta term of the analytic model
+        (:mod:`repro.analysis.model`)."""
+        return 2.0 * self.mem_streams / self.mem_bandwidth
+
     def validate(self) -> None:
         if self.cores < 1:
             raise ValueError("cores must be >= 1")

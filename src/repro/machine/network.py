@@ -65,6 +65,26 @@ class NetworkSpec:
     rendezvous_overhead: float = 0.0
     per_byte_packing: float = 2.5e-11
 
+    @property
+    def beta(self) -> float:
+        """Seconds/byte of point-to-point serialization
+        (``1 / bandwidth``) — the link beta term of the analytic model
+        (:mod:`repro.analysis.model`)."""
+        return 1.0 / self.bandwidth
+
+    def one_way_latency(self, hops: int = 0) -> float:
+        """One-way message latency over *hops* router hops
+        (``alpha + hops * hop_latency``) — the model's ``L`` term,
+        mirroring :meth:`NetworkModel.latency`."""
+        return self.alpha + hops * self.hop_latency
+
+    def rendezvous_latency_for(self, hops: int = 0) -> float:
+        """Handshake cost of one rendezvous transfer over *hops* hops,
+        mirroring :meth:`NetworkModel.rendezvous_latency`."""
+        if self.rendezvous_overhead > 0:
+            return self.rendezvous_overhead
+        return 2.0 * self.one_way_latency(hops)
+
     def validate(self) -> None:
         if self.alpha < 0 or self.hop_latency < 0:
             raise ValueError("latencies must be non-negative")

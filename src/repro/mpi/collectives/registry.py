@@ -53,7 +53,6 @@ rank candidates, not to predict the simulator's exact charge.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping
 
@@ -253,49 +252,6 @@ def _single_node(comm) -> bool:
 
 def _is_pof2(n: int) -> bool:
     return n & (n - 1) == 0
-
-
-def _log2p(p: int) -> int:
-    return max(1, math.ceil(math.log2(max(p, 2))))
-
-
-# ---------------------------------------------------------------------------
-# α-β cost estimation
-# ---------------------------------------------------------------------------
-
-def _perf(comm) -> tuple[float, float]:
-    """Dominant (α, β) of *comm*: network terms when it spans nodes,
-    shared-memory terms (copy-in/copy-out doubles the traffic) inside
-    one node."""
-    spec = comm.ctx.machine.spec
-    if _single_node(comm):
-        node = spec.node
-        return node.shm_latency, 2.0 * node.mem_streams / node.mem_bandwidth
-    net = spec.network
-    return net.alpha, 1.0 / net.bandwidth
-
-
-def _shm_perf(comm) -> tuple[float, float]:
-    node = comm.ctx.machine.spec.node
-    return node.shm_latency, 2.0 * node.mem_streams / node.mem_bandwidth
-
-
-def _net_perf(comm) -> tuple[float, float]:
-    net = comm.ctx.machine.spec.network
-    return net.alpha, 1.0 / net.bandwidth
-
-
-def _cost_hier_stages(comm, total: float, fanout_bytes: float) -> float:
-    """Shared cost skeleton of the leader-based hierarchical patterns:
-    on-node funnel + inter-leader ring exchange + on-node fan-out."""
-    nodes, ppn = comm_shape(comm)
-    a_s, b_s = _shm_perf(comm)
-    a_n, b_n = _net_perf(comm)
-    node_bytes = total / max(nodes, 1)
-    funnel = _log2p(ppn) * a_s + node_bytes * b_s
-    bridge = (nodes - 1) * (a_n + node_bytes * b_n)
-    fan = _log2p(ppn) * a_s + fanout_bytes * b_s
-    return funnel + bridge + fan
 
 
 # ---------------------------------------------------------------------------
@@ -816,307 +772,102 @@ def _multinode_only(comm, req) -> bool:
 # ---------------------------------------------------------------------------
 # Cost estimators
 # ---------------------------------------------------------------------------
+#
+# ``Algorithm.cost`` used to carry hand-written alpha-beta scores with
+# ad-hoc fudge factors; they disagreed with simulated seconds by large
+# factors and were only usable for ranking.  Every registration now
+# delegates to :mod:`repro.analysis.model`, which prices the call in
+# SECONDS with the same protocol rules the simulator implements (the
+# conformance suite in ``tests/analysis/`` bounds the divergence), so
+# :class:`CostModelSelection` compares real latencies and costs share a
+# unit with ``TimedResult``/trace timestamps.
 
-def _cost_ag_rd(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return _log2p(p) * a + (req.total * (p - 1) / p) * b
+def _model_cost(op: str, name: str):
+    def cost(comm, req: CollRequest) -> float:
+        from repro.analysis.model import predict_comm
 
+        return predict_comm(comm, req, name)
 
-def _cost_ag_bruck(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    # Same bandwidth term as recursive doubling plus the final-rotation
-    # local pass real Bruck implementations pay.
-    return _log2p(p) * a + (req.total * (p - 1) / p) * b * 1.05
-
-
-def _cost_ag_ring(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return (p - 1) * (a + (req.total / p) * b)
-
-
-def _cost_ag_gather_bcast(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return 2 * _log2p(p) * a + 2 * req.total * b
-
-
-def _cost_ag_smp(comm, req):
-    return _cost_hier_stages(comm, req.total, req.total)
-
-
-def _cost_ag_multileader(comm, req):
-    k = max(1, comm.ctx.tuning.multileader_k)
-    nodes, ppn = comm_shape(comm)
-    a_s, b_s = _shm_perf(comm)
-    a_n, b_n = _net_perf(comm)
-    node_bytes = req.total / max(nodes, 1)
-    funnel = _log2p(max(1, ppn // k)) * a_s + (node_bytes / k) * b_s
-    bridge = (nodes - 1) * (a_n + (node_bytes / k) * b_n)
-    merge = (k - 1) * (a_s + (req.total / k) * b_s)
-    fan = _log2p(max(1, ppn // k)) * a_s + req.total * b_s
-    return funnel + bridge + merge + fan
-
-
-def _cost_bcast_binomial(comm, req):
-    a, b = _perf(comm)
-    return _log2p(comm.size) * (a + req.nbytes * b)
-
-
-def _cost_bcast_scatter_ag(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return (_log2p(p) + p - 1) * a + 2 * req.nbytes * (p - 1) / p * b
-
-
-def _cost_bcast_pipeline(comm, req):
-    a, b = _perf(comm)
-    chunk = max(1, comm.ctx.tuning.bcast_pipeline_chunk)
-    chunks = max(1, math.ceil(req.nbytes / chunk))
-    return (chunks + comm.size - 2) * (a + min(req.nbytes, chunk) * b)
-
-
-def _cost_bcast_smp(comm, req):
-    nodes, ppn = comm_shape(comm)
-    a_s, b_s = _shm_perf(comm)
-    a_n, b_n = _net_perf(comm)
-    return (
-        _log2p(ppn) * (a_s + req.nbytes * b_s)
-        + _log2p(nodes) * (a_n + req.nbytes * b_n)
-    )
-
-
-def _cost_gather_binomial(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    # log(p) rounds; intermediate store-and-forward roughly re-moves
-    # half of the gathered bytes (why tables go linear for big messages).
-    return _log2p(p) * a + req.nbytes * (p - 1) * b * 1.5
-
-
-def _cost_gather_linear(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return (p - 1) * (a + req.nbytes * b)
-
-
-def _cost_reduce_binomial(comm, req):
-    a, b = _perf(comm)
-    return _log2p(comm.size) * (a + req.nbytes * b)
-
-
-def _cost_reduce_smp(comm, req):
-    nodes, ppn = comm_shape(comm)
-    a_s, b_s = _shm_perf(comm)
-    a_n, b_n = _net_perf(comm)
-    return (
-        _log2p(ppn) * (a_s + req.nbytes * b_s)
-        + _log2p(nodes) * (a_n + req.nbytes * b_n)
-    )
-
-
-def _cost_ar_rd(comm, req):
-    a, b = _perf(comm)
-    return _log2p(comm.size) * (a + req.nbytes * b)
-
-
-def _cost_ar_rabenseifner(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return 2 * _log2p(p) * a + 2 * req.nbytes * (p - 1) / p * b
-
-
-def _cost_ar_ring(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return 2 * (p - 1) * (a + (req.nbytes / p) * b)
-
-
-def _cost_ar_smp(comm, req):
-    nodes, ppn = comm_shape(comm)
-    a_s, b_s = _shm_perf(comm)
-    a_n, b_n = _net_perf(comm)
-    on_node = 2 * _log2p(ppn) * (a_s + req.nbytes * b_s)
-    bridge = _log2p(nodes) * (a_n + req.nbytes * b_n)
-    return on_node + bridge
-
-
-def _cost_rs_halving(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return _log2p(p) * a + req.nbytes * (p - 1) / p * b
-
-
-def _cost_rs_pairwise(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return (p - 1) * (a + (req.nbytes / p) * b)
-
-
-def _cost_scan_linear(comm, req):
-    a, b = _perf(comm)
-    return (comm.size - 1) * (a + req.nbytes * b)
-
-
-def _cost_scan_binomial(comm, req):
-    a, b = _perf(comm)
-    return _log2p(comm.size) * (a + req.nbytes * b)
-
-
-def _cost_a2a_bruck(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return _log2p(p) * (a + (req.nbytes * p / 2) * b)
-
-
-def _cost_a2a_pairwise(comm, req):
-    a, b = _perf(comm)
-    p = comm.size
-    return (p - 1) * (a + req.nbytes * b)
-
-
-def _cost_barrier_shm(comm, req):
-    tuning = comm.ctx.tuning
-    return tuning.shm_barrier_base + _log2p(comm.size) * tuning.shm_barrier_flag
-
-
-def _cost_barrier_dissemination(comm, req):
-    a, _b = _perf(comm)
-    return _log2p(comm.size) * a
-
-
-def _cost_barrier_smp(comm, req):
-    nodes, ppn = comm_shape(comm)
-    tuning = comm.ctx.tuning
-    a_n, _b = _net_perf(comm)
-    shm = tuning.shm_barrier_base + _log2p(ppn) * tuning.shm_barrier_flag
-    return shm + _log2p(nodes) * a_n + tuning.shm_barrier_flag
-
-
-def _cost_hy_shared_window(comm, req):
-    nodes, ppn = comm_shape(comm)
-    tuning = comm.ctx.tuning
-    a_n, b_n = _net_perf(comm)
-    sync = 2 * (tuning.shm_barrier_base
-                + _log2p(ppn) * tuning.shm_barrier_flag)
-    if nodes <= 1:
-        return sync / 2
-    node_bytes = req.total / nodes
-    return sync + (nodes - 1) * (a_n + node_bytes * b_n)
-
-
-def _cost_hy_pipelined(comm, req):
-    nodes, _ppn = comm_shape(comm)
-    a_n, b_n = _net_perf(comm)
-    base = _cost_hy_shared_window(comm, req)
-    if nodes <= 1:
-        return base
-    chunk = 128 * 1024
-    node_bytes = req.total / nodes
-    chunks = max(1, math.ceil(node_bytes / chunk))
-    bridge = (chunks + nodes - 2) * (a_n + min(node_bytes, chunk) * b_n)
-    return base - (nodes - 1) * (a_n + node_bytes * b_n) + bridge
-
-
-def _cost_hy_bcast(comm, req):
-    nodes, ppn = comm_shape(comm)
-    tuning = comm.ctx.tuning
-    a_n, b_n = _net_perf(comm)
-    sync = tuning.shm_barrier_base + _log2p(ppn) * tuning.shm_barrier_flag
-    if nodes <= 1:
-        return sync
-    return sync + _log2p(nodes) * (a_n + req.nbytes * b_n)
+    return cost
 
 
 # ---------------------------------------------------------------------------
 # Registrations
 # ---------------------------------------------------------------------------
 
-def _reg(op, name, fn, applicable=_always, cost=None, kind="flat"):
+def _reg(op, name, fn, applicable=_always, kind="flat"):
     register(Algorithm(
         op=op, name=name, fn=fn, applicable=applicable,
-        cost=cost or (lambda comm, req: 0.0), kind=kind,
+        cost=_model_cost(op, name), kind=kind,
     ))
 
 
 # allgather family ----------------------------------------------------------
 _reg("allgather", "recursive_doubling",
      _ignore_total(allgather_recursive_doubling),
-     applicable=_pof2_only, cost=_cost_ag_rd)
-_reg("allgather", "bruck", _ignore_total(allgather_bruck),
-     cost=_cost_ag_bruck)
-_reg("allgather", "ring", _ignore_total(allgather_ring), cost=_cost_ag_ring)
+     applicable=_pof2_only)
+_reg("allgather", "bruck", _ignore_total(allgather_bruck))
+_reg("allgather", "ring", _ignore_total(allgather_ring))
 _reg("allgather", "smp_hierarchical", _run_smp_allgather,
-     applicable=_hier_only, cost=_cost_ag_smp, kind="hierarchical")
+     applicable=_hier_only, kind="hierarchical")
 _reg("allgather", "multileader", _run_multileader_allgather,
-     applicable=_hier_only, cost=_cost_ag_multileader, kind="hierarchical")
+     applicable=_hier_only, kind="hierarchical")
 
-_reg("allgatherv", "bruck_v", _ignore_total(allgatherv_bruck),
-     cost=_cost_ag_bruck)
-_reg("allgatherv", "ring_v", _ignore_total(allgatherv_ring),
-     cost=_cost_ag_ring)
-_reg("allgatherv", "gather_bcast", _run_gather_bcast_v,
-     cost=_cost_ag_gather_bcast)
+_reg("allgatherv", "bruck_v", _ignore_total(allgatherv_bruck))
+_reg("allgatherv", "ring_v", _ignore_total(allgatherv_ring))
+_reg("allgatherv", "gather_bcast", _run_gather_bcast_v)
 _reg("allgatherv", "smp_hierarchical", _run_smp_allgather,
-     applicable=_hier_only, cost=_cost_ag_smp, kind="hierarchical")
+     applicable=_hier_only, kind="hierarchical")
 
 # bcast ---------------------------------------------------------------------
-_reg("bcast", "binomial", bcast_binomial, cost=_cost_bcast_binomial)
-_reg("bcast", "scatter_allgather", bcast_scatter_allgather,
-     cost=_cost_bcast_scatter_ag)
-_reg("bcast", "pipeline", _run_bcast_pipeline, cost=_cost_bcast_pipeline)
+_reg("bcast", "binomial", bcast_binomial)
+_reg("bcast", "scatter_allgather", bcast_scatter_allgather)
+_reg("bcast", "pipeline", _run_bcast_pipeline)
 _reg("bcast", "smp_hierarchical", _run_smp_bcast,
-     applicable=_hier_only, cost=_cost_bcast_smp, kind="hierarchical")
+     applicable=_hier_only, kind="hierarchical")
 
 # gather / scatter ----------------------------------------------------------
-_reg("gather", "binomial", gather_binomial, cost=_cost_gather_binomial)
-_reg("gather", "linear", gather_linear, cost=_cost_gather_linear)
-_reg("gatherv", "binomial", gather_binomial, cost=_cost_gather_binomial)
-_reg("gatherv", "linear", gather_linear, cost=_cost_gather_linear)
-_reg("scatter", "binomial", scatter_binomial, cost=_cost_gather_binomial)
-_reg("scatter", "linear", scatter_linear, cost=_cost_gather_linear)
+_reg("gather", "binomial", gather_binomial)
+_reg("gather", "linear", gather_linear)
+_reg("gatherv", "binomial", gather_binomial)
+_reg("gatherv", "linear", gather_linear)
+_reg("scatter", "binomial", scatter_binomial)
+_reg("scatter", "linear", scatter_linear)
 
 # reductions ----------------------------------------------------------------
-_reg("reduce", "binomial", reduce_binomial, cost=_cost_reduce_binomial)
+_reg("reduce", "binomial", reduce_binomial)
 _reg("reduce", "smp_hierarchical", _run_smp_reduce,
-     applicable=_hier_only, cost=_cost_reduce_smp, kind="hierarchical")
+     applicable=_hier_only, kind="hierarchical")
 
-_reg("allreduce", "recursive_doubling", allreduce_recursive_doubling,
-     cost=_cost_ar_rd)
+_reg("allreduce", "recursive_doubling", allreduce_recursive_doubling)
 _reg("allreduce", "rabenseifner", allreduce_rabenseifner,
-     applicable=_pof2_only, cost=_cost_ar_rabenseifner)
-_reg("allreduce", "ring", allreduce_ring, cost=_cost_ar_ring)
+     applicable=_pof2_only)
+_reg("allreduce", "ring", allreduce_ring)
 _reg("allreduce", "smp_hierarchical", _run_smp_allreduce,
-     applicable=_hier_only, cost=_cost_ar_smp, kind="hierarchical")
+     applicable=_hier_only, kind="hierarchical")
 
 _reg("reduce_scatter", "recursive_halving", reduce_scatter_halving,
-     applicable=_pof2_only, cost=_cost_rs_halving)
-_reg("reduce_scatter", "pairwise", reduce_scatter_pairwise,
-     cost=_cost_rs_pairwise)
+     applicable=_pof2_only)
+_reg("reduce_scatter", "pairwise", reduce_scatter_pairwise)
 
-_reg("scan", "linear", scan_linear, cost=_cost_scan_linear)
-_reg("scan", "binomial", scan_binomial, cost=_cost_scan_binomial)
-_reg("exscan", "binomial", exscan_binomial, cost=_cost_scan_binomial)
+_reg("scan", "linear", scan_linear)
+_reg("scan", "binomial", scan_binomial)
+_reg("exscan", "binomial", exscan_binomial)
 
 # alltoall ------------------------------------------------------------------
-_reg("alltoall", "bruck", alltoall_bruck, cost=_cost_a2a_bruck)
-_reg("alltoall", "pairwise", alltoall_pairwise, cost=_cost_a2a_pairwise)
+_reg("alltoall", "bruck", alltoall_bruck)
+_reg("alltoall", "pairwise", alltoall_pairwise)
 
 # barrier -------------------------------------------------------------------
 _reg("barrier", "shm_flags", _run_barrier_shm_flags,
-     applicable=_shm_only, cost=_cost_barrier_shm)
+     applicable=_shm_only)
 _reg("barrier", "smp_hierarchical", _run_barrier_smp,
-     applicable=_hier_only, cost=_cost_barrier_smp, kind="hierarchical")
-_reg("barrier", "dissemination", _run_barrier_dissemination,
-     cost=_cost_barrier_dissemination)
+     applicable=_hier_only, kind="hierarchical")
+_reg("barrier", "dissemination", _run_barrier_dissemination)
 
 # hybrid MPI+MPI (executed by repro.core; registered for selection,
 # forcing, and the cost model) ---------------------------------------------
-_reg("hy_allgather", "shared_window", _not_runnable,
-     cost=_cost_hy_shared_window, kind="hybrid")
+_reg("hy_allgather", "shared_window", _not_runnable, kind="hybrid")
 _reg("hy_allgather", "pipelined_ring", _not_runnable,
-     applicable=_multinode_only, cost=_cost_hy_pipelined, kind="hybrid")
-_reg("hy_bcast", "shared_window", _not_runnable,
-     cost=_cost_hy_bcast, kind="hybrid")
+     applicable=_multinode_only, kind="hybrid")
+_reg("hy_bcast", "shared_window", _not_runnable, kind="hybrid")

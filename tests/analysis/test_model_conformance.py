@@ -1,0 +1,103 @@
+"""Model-vs-simulator conformance suite.
+
+Every registered (op, algo) pair is priced by the closed-form model
+and measured on the DES on the miniature Fig 7/9/10 configurations;
+relative divergence must stay inside the documented per-algorithm
+tolerance (worst case) and the 10% median target.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analysis.model import MODEL_FORMS
+from repro.mpi.collectives import registry
+
+from .conformance import (
+    CASES,
+    DEFAULT_TOL,
+    MEDIAN_TOL,
+    MINIS,
+    SIZES,
+    TOLERANCES,
+    applicable,
+    divergence,
+)
+
+
+def _cells():
+    for op, algo in CASES:
+        for mini in MINIS:
+            yield op, algo, mini
+
+
+_CELLS = list(_cells())
+
+
+def test_every_registered_pair_is_covered():
+    registered = {
+        (op, algo.name)
+        for op in registry.ops()
+        for algo in registry.algorithms_for(op)
+    }
+    assert registered == set(CASES)
+    assert registered == set(MODEL_FORMS), (
+        "repro.analysis.model must provide a closed form for every "
+        "registered (op, algo) pair"
+    )
+
+
+def test_every_pair_runs_somewhere():
+    """Each (op, algo) must be applicable on at least one mini config,
+    otherwise the conformance suite silently skips it."""
+    for op, algo in CASES:
+        assert any(applicable(mini, op, algo) for mini in MINIS), (
+            f"{op}/{algo} is not applicable on any mini config"
+        )
+
+
+@pytest.mark.parametrize(
+    "op,algo,mini", _CELLS, ids=[f"{o}-{a}-{m}" for o, a, m in _CELLS]
+)
+def test_model_matches_des(op, algo, mini):
+    if not applicable(mini, op, algo):
+        pytest.skip(f"{op}/{algo} not applicable on {mini}")
+    tol = TOLERANCES.get((op, algo), DEFAULT_TOL)
+    sizes = (0,) if op == "barrier" else SIZES
+    for nbytes in sizes:
+        d, model_s, des_s = divergence(mini, op, algo, nbytes)
+        assert d <= tol, (
+            f"{op}/{algo} on {mini} at {nbytes} B: model "
+            f"{model_s * 1e6:.2f} us vs DES {des_s * 1e6:.2f} us "
+            f"({d:.1%} > {tol:.0%})"
+        )
+
+
+@pytest.mark.parametrize(
+    "op,algo", CASES, ids=[f"{o}-{a}" for o, a in CASES]
+)
+def test_per_algorithm_median(op, algo):
+    """Each algorithm's median divergence across all applicable minis
+    and sizes stays within the 10% target."""
+    divs = []
+    for mini in MINIS:
+        if not applicable(mini, op, algo):
+            continue
+        sizes = (0,) if op == "barrier" else SIZES
+        divs.extend(divergence(mini, op, algo, n)[0] for n in sizes)
+    assert divs, f"{op}/{algo} has no applicable mini config"
+    assert statistics.median(divs) <= MEDIAN_TOL
+
+
+def test_median_divergence_across_suite():
+    """Issue acceptance: <=10% median divergence over all cells."""
+    divs = []
+    for op, algo, mini in _CELLS:
+        if not applicable(mini, op, algo):
+            continue
+        sizes = (0,) if op == "barrier" else SIZES
+        for nbytes in sizes:
+            divs.append(divergence(mini, op, algo, nbytes)[0])
+    assert statistics.median(divs) <= MEDIAN_TOL

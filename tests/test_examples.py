@@ -18,6 +18,7 @@ RUNS = [
     ("stencil_halo.py", []),
     ("osu_microbenchmark.py", ["64"]),
     ("power_iteration.py", ["96"]),
+    ("model_sweep.py", ["4096", "65536"]),
 ]
 
 
