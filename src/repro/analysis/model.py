@@ -10,10 +10,15 @@ implements:
   serialization ``n/B`` on the endpoint NICs (``nic_streams`` concurrent
   transfers before FIFO queueing); rendezvous messages
   (``n > eager_threshold``) pay an extra ``2L`` handshake;
-* intra-node messages pay ``shm_latency`` plus staged memory copies —
-  two for the eager CICO path, one for the rendezvous (LMT) path — each
-  copy moving ``2n`` bytes through the node memory system
-  (``mem_streams`` concurrent copies before queueing);
+* intra-node messages pay ``shm_latency`` (scaled by the transport's
+  ``latency_scale``) plus the transport's staged memory copies — two
+  for the eager CICO path of ``shm_two_copy``, one for ``cma_single_copy``
+  / ``pip_direct`` and for every rendezvous (LMT) path — each copy
+  moving ``2n`` bytes through a socket memory channel (``mem_streams``
+  concurrent copies per socket before queueing); on multi-socket nodes
+  exactly one copy of a cross-socket message crosses the xsocket link
+  (``xsocket_streams`` concurrent transfers) and the message pays an
+  extra ``xsocket_latency``;
 * concurrent same-shaped transfers on one channel complete in FIFO
   waves: ``k`` transfers on ``s`` slots finish after ``ceil(k/s)``
   transfer times.
@@ -125,11 +130,15 @@ class CostModel:
     exact_limit:
         Communicator sizes up to this bound use exact per-round
         send/recv censuses; larger ones use O(ppn) arithmetic.
+    socket_mode:
+        Slot→socket mapping of the placement being priced (one of
+        :attr:`~repro.machine.placement.Placement.SOCKET_MODES`); only
+        meaningful when the node spec declares ``sockets > 1``.
     """
 
     def __init__(self, spec, counts, tuning: CollectiveTuning | None = None,
                  topology=None, node_ids: Sequence[int] | None = None,
-                 exact_limit: int = 256):
+                 exact_limit: int = 256, socket_mode: str = "compact"):
         if isinstance(counts, int):
             counts = (counts,)
         self.counts = tuple(int(c) for c in counts)
@@ -142,10 +151,24 @@ class CostModel:
         self.tuning = tuning or tuning_for_machine(spec.name)
         node = spec.node
         net = spec.network
-        self.shm_lat = node.shm_latency
+        #: On-node transport (copy counts + latency scale); for the
+        #: default ``shm_two_copy`` every formula below reduces exactly
+        #: to the pre-transport model.
+        self.tp = node.transport_spec
+        self.shm_lat = node.shm_latency * self.tp.latency_scale
         #: Seconds per byte of one staged copy (reads + writes the data).
         self.copy_beta = node.copy_beta
+        #: Per-socket memory streams (the census unit) and their pooled
+        #: node-wide count (the arithmetic-mode unit; equal on flat nodes).
         self.mem_streams = node.mem_streams
+        self.sockets = node.sockets
+        self.pool_streams = node.mem_streams * node.sockets
+        self.socket_mode = socket_mode
+        self.cores_per_socket = node.cores_per_socket
+        self.x_lat = node.xsocket_latency if node.sockets > 1 else 0.0
+        #: Seconds per byte of one staged copy over the xsocket link.
+        self.x_beta = node.xsocket_beta
+        self.x_streams = node.xsocket_streams
         self.alpha = net.alpha
         self.B = net.bandwidth
         self.nic_streams = net.nic_streams
@@ -162,12 +185,40 @@ class CostModel:
         self.exact = self.p <= exact_limit
         if self.exact:
             node_of = []
+            sock_of = []
             for n_idx, c in enumerate(self.counts):
                 node_of.extend([n_idx] * c)
+                sock_of.extend(self._sock_slot(s, c) for s in range(c))
             self._node_of = node_of
+            self._sock_of = sock_of
         else:
             self._node_of = None
+            self._sock_of = None
         self._memo: dict = {}
+
+    # -- socket census -----------------------------------------------------
+
+    def _sock_slot(self, slot: int, ppn: int) -> int:
+        """Socket of on-node *slot* under :attr:`socket_mode` (mirrors
+        :meth:`repro.machine.placement.Placement.socket_of`)."""
+        s = self.sockets
+        if s <= 1:
+            return 0
+        if self.socket_mode == "compact":
+            return min(slot // self.cores_per_socket, s - 1)
+        if self.socket_mode == "scatter":
+            return slot % s
+        return min(slot * s // max(ppn, 1), s - 1)
+
+    def _ncross(self, pairs: Iterable[tuple[int, int]], q: int) -> int:
+        """Cross-socket pair count among on-node slot *pairs* of a
+        node hosting *q* ranks."""
+        if self.sockets <= 1:
+            return 0
+        return sum(
+            1 for a, b in pairs
+            if self._sock_slot(a, q) != self._sock_slot(b, q)
+        )
 
     # -- primitives -------------------------------------------------------
 
@@ -175,21 +226,44 @@ class CostModel:
         """One staged memory copy of *m* bytes (uncontended)."""
         return m * self.copy_beta
 
-    def shm_round(self, m: float, conc: int) -> float:
+    def xcopy(self, m: float) -> float:
+        """One staged copy of *m* bytes over the xsocket link."""
+        return m * self.x_beta
+
+    def _k_of(self, m: float) -> int:
+        """Staged copies per on-node message of *m* bytes under the
+        node's transport (eager vs rendezvous path)."""
+        return (self.tp.eager_copies if m <= self.eager
+                else self.tp.rdv_copies)
+
+    def shm_round(self, m: float, conc: int, ncross: int = 0) -> float:
         """Completion time of *conc* concurrent on-node messages of *m*
-        bytes each, started together on one node's memory system."""
+        bytes each, started together on one node's memory system.
+        *ncross* of them cross sockets: their first staged copy moves
+        over the xsocket link and they pay ``xsocket_latency`` extra."""
         if conc <= 0:
             return 0.0
-        s = self.mem_streams
-        if m <= self.eager:
-            # CICO: copy-in then copy-out per message; copy-outs refill
-            # freed slots, so the last completion is governed by total
-            # copy count, floored by the two sequential per-message hops.
-            waves = max(2, math.ceil(2 * conc / s))
-        else:
-            # LMT: a single mapped copy per message.
-            waves = max(1, math.ceil(conc / s))
-        return self.shm_lat + waves * self.copy(m)
+        k = self._k_of(m)
+        c = self.copy(m)
+        if ncross <= 0:
+            # Same-domain round: copies refill freed slots, so the last
+            # completion is governed by total copy count, floored by the
+            # k sequential per-message hops.
+            s = self.pool_streams
+            waves = max(k, math.ceil(k * conc / s))
+            return self.shm_lat + waves * c
+        lat = self.shm_lat + self.x_lat
+        # First copies: crossing messages queue on the xsocket link
+        # while same-socket ones start on the memory channels.
+        nloc = conc - ncross
+        t = math.ceil(ncross / self.x_streams) * self.xcopy(m)
+        if nloc > 0:
+            t = max(t, math.ceil(nloc / self.pool_streams) * c)
+        if k > 1:
+            # Remaining copies all land on the socket memory channels.
+            t += max(k - 1,
+                     math.ceil((k - 1) * conc / self.pool_streams)) * c
+        return lat + t
 
     def net_round(self, m: float, conc: int) -> float:
         """Completion (at the receiver) of *conc* concurrent inter-node
@@ -212,17 +286,30 @@ class CostModel:
     # protocol costs (contention appears as channel-throughput floors).
 
     def _send_pair(self, intra: bool, m: float, start: float,
-                   recv_post: float) -> tuple[float, float]:
+                   recv_post: float,
+                   cross: bool = False) -> tuple[float, float]:
         """(sender-free, receiver-done) absolute times of one message
-        whose send starts at *start* with the recv posted at *recv_post*."""
+        whose send starts at *start* with the recv posted at
+        *recv_post*.  *cross* marks an intra-node pair living on
+        different sockets (its first copy crosses the xsocket link)."""
         if intra:
+            lat = self.shm_lat + (self.x_lat if cross else 0.0)
             c = self.copy(m)
+            first = self.xcopy(m) if cross else c
             if m <= self.eager:
-                avail = start + self.shm_lat + c       # CICO copy-in
-                return (start + self.shm_lat + c,
-                        max(avail, recv_post) + c)     # copy-out
-            match = max(start, recv_post)              # LMT single copy
-            done = match + self.shm_lat + c
+                k = self.tp.eager_copies
+                if k >= 2:
+                    # Sender stages k-1 copies (the first may cross);
+                    # the receiver pays the final copy-out.
+                    avail = start + lat + first + (k - 2) * c
+                    return (avail, max(avail, recv_post) + c)
+                # Single-copy transport: the sender is free after the
+                # latency hop; the receiver's one copy moves the data.
+                avail = start + lat
+                return (avail, max(avail, recv_post) + first)
+            k = self.tp.rdv_copies                     # LMT direct copy
+            match = max(start, recv_post)
+            done = match + lat + first + (k - 1) * c
             return (done, done)
         if m <= self.eager:
             avail = start + m / self.B + self.L
@@ -231,18 +318,27 @@ class CostModel:
         done = match + self.rdv + self.L + m / self.B
         return (done, done)
 
-    def _edge_cost(self, intra: bool, m: float) -> float:
+    def _edge_cost(self, intra: bool, m: float,
+                   cross: bool = False) -> float:
         """Store-and-forward cost of one pipelined hop (recv pre-posted)."""
         if intra:
-            k = 2 if m <= self.eager else 1
-            return self.shm_lat + k * self.copy(m)
+            k = self._k_of(m)
+            first = self.xcopy(m) if cross else self.copy(m)
+            return (self.shm_lat + (self.x_lat if cross else 0.0)
+                    + first + (k - 1) * self.copy(m))
         t = m / self.B + self.L
         if m > self.eager:
             t += self.rdv
         return t
 
+    def _pair_cross(self, sock_of, node_of, a: int, b: int) -> bool:
+        """Whether vranks *a*, *b* form a cross-socket intra-node pair."""
+        return (sock_of is not None and node_of[a] == node_of[b]
+                and sock_of[a] != sock_of[b])
+
     def _dp_down_tree(self, node_of: Sequence[int],
-                      m_of: Callable[[int], float]) -> float:
+                      m_of: Callable[[int], float],
+                      sock_of: Sequence[int] | None = None) -> float:
         """Binomial top-down tree rooted at vrank 0 (bcast/scatter):
         completion time.  ``m_of(cnt)`` is the bytes sent to a subtree
         of *cnt* ranks."""
@@ -265,14 +361,16 @@ class CostModel:
                 start = max(free[r], ready[r])
                 cnt = min(mask, p - dst)
                 sf, rd = self._send_pair(
-                    node_of[r] == node_of[dst], m_of(cnt), start, 0.0
+                    node_of[r] == node_of[dst], m_of(cnt), start, 0.0,
+                    cross=self._pair_cross(sock_of, node_of, r, dst),
                 )
                 free[r] = sf
                 ready[dst] = rd
         return max(max(ready), max(free))
 
     def _dp_up_tree(self, node_of: Sequence[int],
-                    m_of: Callable[[int], float]) -> float:
+                    m_of: Callable[[int], float],
+                    sock_of: Sequence[int] | None = None) -> float:
         """Binomial bottom-up tree rooted at vrank 0 (gather/reduce):
         root completion.  ``m_of(cnt)`` is the bytes a sender holding
         *cnt* blocks forwards."""
@@ -288,7 +386,8 @@ class CostModel:
                     continue
                 cnt = min(mask, p - src)
                 sf, rd = self._send_pair(
-                    node_of[r] == node_of[src], m_of(cnt), t[src], t[r]
+                    node_of[r] == node_of[src], m_of(cnt), t[src], t[r],
+                    cross=self._pair_cross(sock_of, node_of, r, src),
                 )
                 t[r] = rd
                 t[src] = sf
@@ -296,7 +395,8 @@ class CostModel:
         return t[0]
 
     def _dp_shift(self, node_of: Sequence[int], dists: Iterable[int],
-                  m: float, wrap: bool = False) -> float:
+                  m: float, wrap: bool = False,
+                  sock_of: Sequence[int] | None = None) -> float:
         """Rounds where rank ``r`` sends to ``r + d`` and receives from
         ``r - d`` (Hillis-Steele scan shape), honoring per-rank
         dependencies between rounds.  Concurrent inter-node sends from
@@ -312,21 +412,27 @@ class CostModel:
                     if not wrap:
                         continue
                     dst %= p
-                msgs.append((r, dst, node_of[r] == node_of[dst]))
-            k = 2 if m <= self.eager else 1
+                msgs.append((r, dst, node_of[r] == node_of[dst],
+                             self._pair_cross(sock_of, node_of, r, dst)))
+            k = self._k_of(m)
             order: dict[tuple[int, int], int] = {}
             seen: Counter = Counter()
-            for r, dst, intra in sorted(
+            for r, dst, intra, cross in sorted(
                     msgs, key=lambda e: t[e[0]]):
                 node = node_of[r]
-                key = (1, node) if intra else (0, node)
+                key = (2, node) if cross else \
+                    (1, node) if intra else (0, node)
                 order[(r, dst)] = seen[key]
-                seen[key] += k if intra else 1
+                seen[key] += (1 if cross else k) if intra else 1
             nt = list(t)
-            for r, dst, intra in msgs:
-                sf, rd = self._send_pair(intra, m, t[r], t[dst])
-                if intra:
-                    extra = (order[(r, dst)] // self.mem_streams) \
+            for r, dst, intra, cross in msgs:
+                sf, rd = self._send_pair(intra, m, t[r], t[dst],
+                                         cross=cross)
+                if cross:
+                    extra = (order[(r, dst)] // self.x_streams) \
+                        * self.xcopy(m)
+                elif intra:
+                    extra = (order[(r, dst)] // self.pool_streams) \
                         * self.copy(m)
                 else:
                     extra = (order[(r, dst)] // self.nic_streams) \
@@ -351,24 +457,33 @@ class CostModel:
         p = len(node_of)
         if p <= 1 or m < 0:
             return 0.0
+        sock_of = self._sock_of if node_of is self._node_of else None
         rounds = (p - 1) * phases
         edges = []
         intra_per_node: Counter = Counter()
+        cross_per_node: Counter = Counter()
         has_inter = False
         for r in range(p):
             nxt = (r + 1) % p
             intra = node_of[r] == node_of[nxt]
-            edges.append(self._edge_cost(intra, m))
-            if intra:
+            cross = self._pair_cross(sock_of, node_of, r, nxt)
+            edges.append(self._edge_cost(intra, m, cross=cross))
+            if cross:
+                cross_per_node[node_of[r]] += 1
+            elif intra:
                 intra_per_node[node_of[r]] += 1
             else:
                 has_inter = True
         path = (sum(edges) - min(edges)) * phases
-        k = 2 if m <= self.eager else 1
+        k = self._k_of(m)
         c = self.copy(m)
         floor = 0.0
         for cnt in intra_per_node.values():
-            f = rounds * cnt * k * c / self.mem_streams + k * c
+            f = rounds * cnt * k * c / self.pool_streams + k * c
+            if f > floor:
+                floor = f
+        for cnt in cross_per_node.values():
+            f = rounds * cnt * self.xcopy(m) / self.x_streams + self.xcopy(m)
             if f > floor:
                 floor = f
         if has_inter:
@@ -388,30 +503,61 @@ class CostModel:
         p = len(node_of)
         if p <= 1:
             return 0.0
+        sock_of = self._sock_of if node_of is self._node_of else None
         chains = [0.0] * p
         intra_msgs: Counter = Counter()
+        cross_msgs: Counter = Counter()
         nic_tx: Counter = Counter()
         for s in range(1, p):
+            # Per-round census of cross-socket sends: concurrent
+            # messages wave on each node's xsocket link within the
+            # round, so a cross edge in a chain pays the wave factor.
+            xconc: Counter = Counter()
+            if sock_of is not None:
+                for r in range(p):
+                    dst = (r ^ s) if xor else (r + s) % p
+                    if dst >= p:
+                        continue
+                    if self._pair_cross(sock_of, node_of, r, dst):
+                        xconc[node_of[r]] += 1
             for r in range(p):
                 dst = (r ^ s) if xor else (r + s) % p
                 if dst >= p:
                     continue
+                xw = (math.ceil(xconc[node_of[r]] / self.x_streams) - 1
+                      if xconc[node_of[r]] else 0) * self.xcopy(m)
+                crossed = self._pair_cross(sock_of, node_of, r, dst)
                 send_cost = self._edge_cost(
-                    node_of[r] == node_of[dst], m)
+                    node_of[r] == node_of[dst], m, cross=crossed)
+                if crossed:
+                    send_cost += xw
                 src = (r ^ s) if xor else (r - s) % p
-                recv_cost = self._edge_cost(
-                    node_of[r] == node_of[src], m) if src < p else 0.0
+                if src < p:
+                    crossed_r = self._pair_cross(sock_of, node_of, r, src)
+                    recv_cost = self._edge_cost(
+                        node_of[r] == node_of[src], m, cross=crossed_r)
+                    if crossed_r:
+                        recv_cost += xw
+                else:
+                    recv_cost = 0.0
                 chains[r] += max(send_cost, recv_cost)
                 if node_of[r] == node_of[dst]:
-                    intra_msgs[node_of[r]] += 1
+                    if self._pair_cross(sock_of, node_of, r, dst):
+                        cross_msgs[node_of[r]] += 1
+                    else:
+                        intra_msgs[node_of[r]] += 1
                 else:
                     nic_tx[node_of[r]] += 1
         t = max(chains)
-        k = 2 if m <= self.eager else 1
+        k = self._k_of(m)
         c = self.copy(m)
         floor = 0.0
         for cnt in intra_msgs.values():
-            f = cnt * k * c / self.mem_streams + k * c
+            f = cnt * k * c / self.pool_streams + k * c
+            if f > floor:
+                floor = f
+        for cnt in cross_msgs.values():
+            f = cnt * self.xcopy(m) / self.x_streams + self.xcopy(m)
             if f > floor:
                 floor = f
         for cnt in nic_tx.values():
@@ -428,7 +574,9 @@ class CostModel:
                      m: float) -> float:
         """Exact completion of one symmetric round given (src, dst) pairs."""
         node_of = self._node_of
-        intra: dict[int, int] = {}
+        sock_of = self._sock_of
+        same: dict[tuple[int, int], int] = {}
+        cross: dict[int, int] = {}
         tx: dict[int, int] = {}
         rx: dict[int, int] = {}
         for s_r, d_r in pairs:
@@ -436,20 +584,39 @@ class CostModel:
                 continue
             ns, nd = node_of[s_r], node_of[d_r]
             if ns == nd:
-                intra[ns] = intra.get(ns, 0) + 1
+                ss, sd = sock_of[s_r], sock_of[d_r]
+                if ss == sd:
+                    key = (ns, ss)
+                    same[key] = same.get(key, 0) + 1
+                else:
+                    cross[ns] = cross.get(ns, 0) + 1
             else:
                 tx[ns] = tx.get(ns, 0) + 1
                 rx[nd] = rx.get(nd, 0) + 1
         t = 0.0
-        for c in intra.values():
-            v = self.shm_round(m, c)
+        k = self._k_of(m)
+        c = self.copy(m)
+        for cnt in same.values():
+            # All k copies stay on this socket's memory channel.
+            waves = max(k, math.ceil(k * cnt / self.mem_streams))
+            v = self.shm_lat + waves * c
+            if v > t:
+                t = v
+        for cnt in cross.values():
+            # First copies queue on the node's xsocket link; remaining
+            # copies spread over the destination sockets' channels.
+            v = (self.shm_lat + self.x_lat
+                 + math.ceil(cnt / self.x_streams) * self.xcopy(m))
+            if k > 1:
+                v += max(k - 1,
+                         math.ceil((k - 1) * cnt / self.pool_streams)) * c
             if v > t:
                 t = v
         conc = 0
         for side in (tx, rx):
-            for c in side.values():
-                if c > conc:
-                    conc = c
+            for cnt in side.values():
+                if cnt > conc:
+                    conc = cnt
         if conc:
             v = self.net_round(m, conc)
             if v > t:
@@ -523,14 +690,30 @@ class CostModel:
 
     # -- on-node stage evaluators (over q ranks of one node) --------------
 
-    def _shm_gather_binomial(self, n: float, q: int) -> float:
-        """gather_binomial on a shared-memory comm: per-rank block *n*."""
+    def _tree_round(self, mask: int, q: int,
+                    xfree: bool = False) -> tuple[int, int]:
+        """(conc, ncross) of one binomial-tree distance-*mask* round
+        over *q* on-node slots.  *xfree* marks a socket-internal domain
+        (slots live on one socket, so no edge ever crosses)."""
+        if self.sockets == 1:
+            return max(1, q // (2 * mask)), 0
+        pairs = [(r, r + mask)
+                 for r in range(0, q, 2 * mask) if r + mask < q]
+        if xfree:
+            return max(1, len(pairs)), 0
+        return max(1, len(pairs)), self._ncross(pairs, q)
+
+    def _shm_gather_binomial(self, n: float, q: int, mult: int = 1,
+                             xfree: bool = False) -> float:
+        """gather_binomial on a shared-memory comm: per-rank block *n*.
+        *mult* concurrent instances share the node (the per-socket
+        gathers of the 3-level forms)."""
         t = 0.0
         mask = 1
         while mask < q:
             m = min(mask, max(1, q - mask)) * n
-            conc = max(1, q // (2 * mask))
-            t += self.shm_round(m, conc)
+            conc, ncross = self._tree_round(mask, q, xfree)
+            t += self.shm_round(m, conc * mult, ncross * mult)
             mask <<= 1
         return t
 
@@ -538,12 +721,13 @@ class CostModel:
         t = 0.0
         mask = 1
         while mask < q:
-            conc = max(1, q // (2 * mask))
-            t += self.shm_round(n, conc)
+            conc, ncross = self._tree_round(mask, q)
+            t += self.shm_round(n, conc, ncross)
             mask <<= 1
         return t
 
-    def _shm_bcast_binomial(self, m: float, q: int) -> float:
+    def _shm_bcast_binomial(self, m: float, q: int, mult: int = 1,
+                            xfree: bool = False) -> float:
         t = 0.0
         masks = []
         mask = 1
@@ -551,21 +735,31 @@ class CostModel:
             masks.append(mask)
             mask <<= 1
         for mask in reversed(masks):
-            conc = max(1, q // (2 * mask))
-            t += self.shm_round(m, conc)
+            conc, ncross = self._tree_round(mask, q, xfree)
+            t += self.shm_round(m, conc * mult, ncross * mult)
         return t
 
-    def _shm_allgather_ring(self, block: float, q: int) -> float:
+    def _ring_ncross(self, q: int) -> int:
+        """Cross-socket edge count of the on-node neighbor ring."""
+        if self.sockets == 1:
+            return 0
+        return self._ncross([(r, (r + 1) % q) for r in range(q)], q)
+
+    def _shm_allgather_ring(self, block: float, q: int, mult: int = 1,
+                            xfree: bool = False) -> float:
         if q <= 1:
             return 0.0
-        return (q - 1) * self.shm_round(block, q)
+        ncross = 0 if xfree else self._ring_ncross(q)
+        return (q - 1) * self.shm_round(block, q * mult, ncross * mult)
 
-    def _shm_bcast_stage(self, m: float, q: int) -> float:
-        """On-node release broadcast of *m* bytes (policy-selected)."""
+    def _shm_bcast_stage(self, m: float, q: int, mult: int = 1,
+                         xfree: bool = False) -> float:
+        """On-node release broadcast of *m* bytes (policy-selected);
+        *mult* concurrent instances share the node."""
         if q <= 1:
             return 0.0
         if self._shm_bcast_algo(m, q) == "binomial":
-            return self._shm_bcast_binomial(m, q)
+            return self._shm_bcast_binomial(m, q, mult, xfree)
         # scatter_allgather on-node: binomial scatter + ring allgather.
         block = m / q
         t = 0.0
@@ -576,9 +770,9 @@ class CostModel:
             mask <<= 1
         for mask in reversed(masks):
             bundle = min(mask, max(1, q - mask)) * block
-            conc = max(1, q // (2 * mask))
-            t += self.shm_round(bundle, conc)
-        t += self._shm_allgather_ring(block, q)
+            conc, ncross = self._tree_round(mask, q, xfree)
+            t += self.shm_round(bundle, conc * mult, ncross * mult)
+        t += self._shm_allgather_ring(block, q, mult, xfree)
         return t
 
     # -- bridge stage evaluators (N leaders, one per node, all inter) -----
@@ -704,15 +898,15 @@ class CostModel:
             return 0.0
         rounds = (p - 1) * phases
         ei = self._edge_cost(True, m)
-        k = 2 if m <= self.eager else 1
+        k = self._k_of(m)
         c = self.copy(m)
         if N == 1:
             path = (p * ei - ei) * phases
-            floor = rounds * p * k * c / self.mem_streams + k * c
+            floor = rounds * p * k * c / self.pool_streams + k * c
             return max(path, floor)
         ee = self._edge_cost(False, m)
         path = ((p - N) * ei + N * ee - min(ei, ee)) * phases
-        floor = rounds * max(0, q - 1) * k * c / self.mem_streams + k * c
+        floor = rounds * max(0, q - 1) * k * c / self.pool_streams + k * c
         nic = rounds * (m / self.B) + self.L
         if m > self.eager:
             nic += self.rdv
@@ -772,8 +966,48 @@ class CostModel:
                 t += sum(times) - min(times)
         if k > 1:
             # Leaders merge their bridge results on-node (ring allgather).
-            t += (k - 1) * self.shm_round(total / k, k)
+            slots = [min(i * q_slice, q - 1) for i in range(k)]
+            ring = [(slots[i], slots[(i + 1) % k]) for i in range(k)]
+            t += (k - 1) * self.shm_round(total / k, k,
+                                          self._ncross(ring, q))
         t += self._shm_bcast_stage(total, q_slice)
+        return t
+
+    def _t_ag_smp3(self, n, total, root):
+        """allgather/smp_3level: socket gathers, cross-socket leader
+        gather, bridge exchange, cross-socket leader bcast, socket
+        bcasts.  The socket-internal stages run ``S`` instances
+        concurrently (one per socket); the leader stages move whole
+        socket blocks over the xsocket link."""
+        q, N, S = self.q, self.N, self.sockets
+        qs = max(1, math.ceil(q / S))
+        t = 0.0
+        if qs > 1:
+            t += self._shm_gather_binomial(n, qs, mult=S, xfree=True)
+        # Socket leaders gather blocks to the node leader — every edge
+        # crosses sockets (one leader per socket).
+        mask = 1
+        while mask < S:
+            m = min(mask, max(1, S - mask)) * qs * n
+            conc = max(1, S // (2 * mask))
+            t += self.shm_round(m, conc, ncross=conc)
+            mask <<= 1
+        if N > 1:
+            blocks = [c * n for c in self.counts]
+            t += self.tuning.vector_block_overhead * N
+            t += self._bridge_agv(blocks, total)
+        # Node leader releases the full result back across sockets
+        # (binomial over the S leaders; S <= 2 in every preset, where
+        # the selection mirror always picks binomial).
+        masks = []
+        mask = 1
+        while mask < S:
+            masks.append(mask)
+            mask <<= 1
+        for mask in reversed(masks):
+            conc = max(1, S // (2 * mask))
+            t += self.shm_round(total, conc, ncross=conc)
+        t += self._shm_bcast_stage(total, qs, mult=S, xfree=True)
         return t
 
     # bcast ---------------------------------------------------------------
@@ -781,7 +1015,8 @@ class CostModel:
     def _t_bcast_binomial(self, n, total, root):
         p, q, N = self.p, self.q, self.N
         if self.exact:
-            return self._dp_down_tree(self._node_of, lambda cnt: n)
+            return self._dp_down_tree(self._node_of, lambda cnt: n,
+                                      sock_of=self._sock_of)
         t = 0.0
         masks = []
         mask = 1
@@ -801,7 +1036,8 @@ class CostModel:
         block = n / p
         if self.exact:
             return (self._dp_down_tree(self._node_of,
-                                       lambda cnt: cnt * block)
+                                       lambda cnt: cnt * block,
+                                       sock_of=self._sock_of)
                     + self._ring_time(self._node_of, block))
         t = 0.0
         masks = []
@@ -832,9 +1068,9 @@ class CostModel:
         # copies through the shared memory system.
         steady_intra = 0.0
         if self.q > 1 or N == 1:
-            per_msg = 2 if c <= self.eager else 1
+            per_msg = self._k_of(c)
             copies = per_msg * max(1, self.q - (0 if N > 1 else 1))
-            waves = max(per_msg, math.ceil(copies / self.mem_streams))
+            waves = max(per_msg, math.ceil(copies / self.pool_streams))
             steady_intra = waves * self.copy(c)
         steady_net = c / self.B if N > 1 else 0.0
         steady = max(steady_intra, steady_net)
@@ -852,7 +1088,8 @@ class CostModel:
     def _t_gather_binomial(self, n, total, root):
         p, q, N = self.p, self.q, self.N
         if self.exact:
-            return self._dp_up_tree(self._node_of, lambda cnt: cnt * n)
+            return self._dp_up_tree(self._node_of, lambda cnt: cnt * n,
+                                    sock_of=self._sock_of)
         t = 0.0
         mask = 1
         while mask < p:
@@ -870,7 +1107,8 @@ class CostModel:
         q_root = self.counts[0]
         t = 0.0
         if q_root > 1:
-            t = self.shm_round(n, q_root - 1)
+            xl = self._ncross([(0, s) for s in range(1, q_root)], q_root)
+            t = self.shm_round(n, q_root - 1, xl)
         if N > 1:
             t = max(t, self.net_round(n, p - q_root))
         return t
@@ -878,7 +1116,8 @@ class CostModel:
     def _t_scatter_binomial(self, n, total, root):
         p, q, N = self.p, self.q, self.N
         if self.exact:
-            return self._dp_down_tree(self._node_of, lambda cnt: cnt * n)
+            return self._dp_down_tree(self._node_of, lambda cnt: cnt * n,
+                                      sock_of=self._sock_of)
         t = 0.0
         masks = []
         mask = 1
@@ -902,7 +1141,8 @@ class CostModel:
     def _t_reduce_binomial(self, n, total, root):
         p, q, N = self.p, self.q, self.N
         if self.exact:
-            return self._dp_up_tree(self._node_of, lambda cnt: n)
+            return self._dp_up_tree(self._node_of, lambda cnt: n,
+                                    sock_of=self._sock_of)
         t = 0.0
         mask = 1
         while mask < p:
@@ -1016,9 +1256,12 @@ class CostModel:
     def _t_scan_linear(self, n, total, root):
         if self.exact:
             t = 0.0
+            sock_of = self._sock_of
             for r in range(self.p - 1):
                 if self._node_of[r] == self._node_of[r + 1]:
-                    t += self.shm_round(n, 1)
+                    x = (1 if sock_of is not None
+                         and sock_of[r] != sock_of[r + 1] else 0)
+                    t += self.shm_round(n, 1, x)
                 else:
                     t += self.net_round(n, 1)
             return t
@@ -1032,7 +1275,8 @@ class CostModel:
             dists.append(d)
             d <<= 1
         if self.exact:
-            return self._dp_shift(self._node_of, dists, n, wrap=False)
+            return self._dp_shift(self._node_of, dists, n, wrap=False,
+                                  sock_of=self._sock_of)
         return sum(self.shift_round(d, n, wrap=False) for d in dists)
 
     _t_exscan_binomial = _t_scan_binomial
@@ -1094,7 +1338,7 @@ class CostModel:
             d <<= 1
         if self.exact:
             return t + self._dp_shift(self._node_of, dists, 0.0,
-                                      wrap=True)
+                                      wrap=True, sock_of=self._sock_of)
         return t + sum(self.shift_round(d, 0.0) for d in dists)
 
     def _t_barrier_smp(self, n, total, root):
@@ -1144,6 +1388,33 @@ class CostModel:
         t += self._shm_flags(self.q)
         return t
 
+    def _t_hy_ag_shared_window_3l(self, n, total, root):
+        """hy_allgather/shared_window_3l: the two-level sync envelope
+        plus ``S`` per-socket bridges exchanging socket blocks in
+        parallel (sharing the NIC), closed by the socket-leader
+        completion round."""
+        if self.N == 1:
+            return self._shm_flags(self.q)
+        S = max(1, self.sockets)
+        t = 2 * self._shm_flags(self.q)
+        t += self.tuning.call_overhead
+        t += self.tuning.vector_block_overhead * self.N
+        blocks = [math.ceil(c / S) * n for c in self.counts]
+        if self._bridge_agv_algo(total / S) == "bruck_v":
+            avg = sum(blocks) / self.N
+            pof = 1
+            while pof < self.N:
+                cnt = min(pof, self.N - pof)
+                t += self.net_round(cnt * avg, S)
+                pof <<= 1
+        else:
+            times = [self.net_round(b, S) for b in blocks]
+            t += sum(times) - min(times)
+        if S > 1:
+            # Socket leaders report completion to the node leader.
+            t += self.shm_round(0.0, S - 1, ncross=S - 1)
+        return t
+
 
 #: (op, algo) -> evaluator method name.  Every registered algorithm of
 #: the collective registry has an entry; the conformance suite asserts
@@ -1154,6 +1425,7 @@ MODEL_FORMS: Mapping[tuple[str, str], str] = {
     ("allgather", "ring"): "_t_ag_ring",
     ("allgather", "smp_hierarchical"): "_t_ag_smp",
     ("allgather", "multileader"): "_t_ag_multileader",
+    ("allgather", "smp_3level"): "_t_ag_smp3",
     ("allgatherv", "bruck_v"): "_t_ag_bruck",
     ("allgatherv", "ring_v"): "_t_ag_ring",
     ("allgatherv", "gather_bcast"): "_t_agv_gather_bcast",
@@ -1186,6 +1458,7 @@ MODEL_FORMS: Mapping[tuple[str, str], str] = {
     ("barrier", "dissemination"): "_t_barrier_dissemination",
     ("hy_allgather", "shared_window"): "_t_hy_ag_shared_window",
     ("hy_allgather", "pipelined_ring"): "_t_hy_ag_pipelined",
+    ("hy_allgather", "shared_window_3l"): "_t_hy_ag_shared_window_3l",
     ("hy_bcast", "shared_window"): "_t_hy_bcast_shared_window",
 }
 
@@ -1258,7 +1531,7 @@ def _counts_of(nranks: int, ppn) -> tuple[int, ...]:
 
 def predict(machine, topology, op: str, algo: str, nranks: int, ppn,
             nbytes: float, *, tuning: CollectiveTuning | None = None,
-            root: int = 0) -> float:
+            root: int = 0, socket_mode: str = "compact") -> float:
     """Closed-form latency (seconds) of one collective call.
 
     Parameters mirror the simulator's configuration: *machine* is a
@@ -1271,7 +1544,8 @@ def predict(machine, topology, op: str, algo: str, nranks: int, ppn,
     """
     counts = _counts_of(nranks, ppn)
     spec = _resolve_spec(machine, len(counts))
-    model = CostModel(spec, counts, tuning=tuning, topology=topology)
+    model = CostModel(spec, counts, tuning=tuning, topology=topology,
+                      socket_mode=socket_mode)
     return model.predict(op, algo, nbytes, root=root)
 
 
@@ -1292,6 +1566,7 @@ def model_for_comm(comm) -> CostModel:
         model = cache["_cost_model"] = CostModel(
             machine.spec, counts, tuning=comm.ctx.tuning,
             topology=machine.network.topology, node_ids=node_ids,
+            socket_mode=placement.socket_mode,
         )
     return model
 

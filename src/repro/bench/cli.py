@@ -133,6 +133,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-elements", type=int, default=512, metavar="N",
         help="float64 elements per rank (default: 512, a Fig 9 point)",
     )
+    obs.add_argument(
+        "--sockets", type=int, choices=(1, 2), default=1,
+        help=(
+            "sockets per node of the traced run: 1 = flat node model "
+            "(default), 2 = the honest two-socket Hazel Hen preset"
+        ),
+    )
+    obs.add_argument(
+        "--placement", choices=("compact", "scatter", "balanced"),
+        default="compact", metavar="MODE",
+        help=(
+            "slot-to-socket mapping of the traced run: compact "
+            "(default), scatter, or balanced (only meaningful with "
+            "--sockets 2)"
+        ),
+    )
+    obs.add_argument(
+        "--transport", default="shm_two_copy", metavar="NAME",
+        help=(
+            "on-node transport of the traced run: shm_two_copy "
+            "(default), cma_single_copy, or pip_direct (only meaningful "
+            "with --sockets 2)"
+        ),
+    )
     return parser
 
 
@@ -142,18 +166,32 @@ def _run_traced(args) -> int:
     from repro.metrics import collect_metrics, save_metrics
     from repro.trace import save_chrome_trace
 
+    from repro.machine.transport import get_transport
+
+    try:
+        get_transport(args.transport)  # fail fast on typos
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
     result, _tracer = run_traced_allgather(
         variant=args.trace_variant,
         nodes=args.trace_nodes,
         ppn=args.trace_ppn,
         elements=args.trace_elements,
         detail=args.trace_detail,
+        sockets=args.sockets,
+        socket_mode=args.placement,
+        transport=args.transport,
     )
     if not args.quiet:
+        node_desc = (
+            f"{args.sockets}-socket ({args.transport}, {args.placement})"
+            if args.sockets > 1 else "flat"
+        )
         print(
             f"traced {args.trace_variant} allgather: "
             f"{args.trace_nodes} nodes x {args.trace_ppn} ranks, "
-            f"{args.trace_elements} elements/rank, "
+            f"{args.trace_elements} elements/rank, {node_desc} nodes, "
             f"detail={args.trace_detail}, "
             f"{len(result.trace)} trace records"
         )

@@ -411,6 +411,59 @@ def _ext_strong_scaling_measure(point: dict, mode: str) -> dict:
     }
 
 
+def _ext_transport_sweep(mode: str) -> list[dict]:
+    elements = (
+        [1, 16, 64, 256, 1024, 8192, 32768]
+        if mode == "paper"
+        else [1, 256, 8192, 32768]
+    )
+    return [{"elements": n} for n in elements]
+
+
+#: Short column keys for the registered on-node transports.
+_TRANSPORT_KEYS = {
+    "shm_two_copy": "shm",
+    "cma_single_copy": "cma",
+    "pip_direct": "pip",
+}
+
+
+def _ext_transport_measure(point: dict, mode: str) -> dict:
+    """Transport/socket crossover: Hy_Allgather on the honest 2-socket
+    Hazel Hen node under each on-node transport, with the two-level and
+    three-level bridge exchange forced, against the flat node model.
+
+    The three-level exchange runs one bridge per socket concurrently;
+    it wins once node blocks are bandwidth-bound and loses at small
+    sizes to its extra leader-completion round.
+    """
+    from repro.machine.presets import hazel_hen_2s
+    from repro.machine.transport import TRANSPORTS
+    from repro.mpi.collectives.registry import ForcedSelection
+
+    nodes, ppn = 4, 24
+    placement = Placement.block(nodes, ppn)
+    nbytes = point["elements"] * 8
+    out: dict[str, Any] = {
+        "flat_us": _US * osu_allgather_latency(
+            hazel_hen(nodes), placement, nbytes, "hybrid"
+        ),
+    }
+    for transport in sorted(TRANSPORTS):
+        key = _TRANSPORT_KEYS[transport]
+        spec = hazel_hen_2s(nodes, transport=transport)
+        for algo, suffix in (
+            ("shared_window", "2l"),
+            ("shared_window_3l", "3l"),
+        ):
+            out[f"{key}_{suffix}_us"] = _US * osu_allgather_latency(
+                spec, placement, nbytes, "hybrid",
+                policy=ForcedSelection({"hy_allgather": algo}),
+            )
+    out["shm_3l_speedup"] = out["shm_2l_us"] / out["shm_3l_us"]
+    return out
+
+
 def _abl_multileader_measure(point: dict, mode: str) -> dict:
     nodes, ppn = 8, 24
     placement = Placement.block(nodes, ppn)
@@ -577,6 +630,16 @@ FIGURES: dict[str, Figure] = {
         "advantage narrows but persists.",
         _ext_scaling_sweep,
         _ext_strong_scaling_measure,
+    ),
+    "ext_transport_crossover": _figure(
+        "ext_transport_crossover",
+        "Extension — on-node transports and 2- vs 3-level Hy_Allgather "
+        "(4 nodes x 24, 2-socket nodes)",
+        "Beyond the paper: with per-socket bridges the three-level "
+        "exchange overtakes the two-level one at mid/large messages on "
+        "every transport; single-copy transports shift the crossover.",
+        _ext_transport_sweep,
+        _ext_transport_measure,
     ),
     "abl_multileader": _figure(
         "abl_multileader",

@@ -10,14 +10,19 @@ milliseconds:
   wall-clock the sweep itself took;
 * ``report`` — divergence of the model against the committed
   ``BENCH_<label>.json`` latencies at the repository root, written as a
-  JSON artifact for CI.
+  JSON artifact for CI;
+* ``transports`` — the socket-tier crossover map: two- vs three-level
+  Hy_Allgather on the 2-socket preset under every registered on-node
+  transport (the model-side companion of the DES-measured
+  ``BENCH_transport_crossover.json``).
 
 Usage::
 
     repro-model sweep                   # 10k/65k/1M-rank crossover maps
     repro-model sweep --ranks 4096
     repro-model report --out model_divergence.json
-    repro-model                         # sweep + report
+    repro-model transports --out transport_crossover.json
+    repro-model                         # sweep + report + transports
 """
 
 from __future__ import annotations
@@ -31,11 +36,12 @@ import time
 from typing import Any
 
 from repro.analysis.model import CostModel, crossover_points
-from repro.machine.presets import hazel_hen, vulcan
+from repro.machine.presets import hazel_hen, hazel_hen_2s, vulcan
+from repro.machine.transport import TRANSPORTS
 from repro.mpi.collectives.tuning import tuning_for_machine
 
 __all__ = ["model_best", "sweep_config", "run_sweep", "run_report",
-           "main"]
+           "run_transports", "main"]
 
 #: Message sizes swept (bytes per rank), eager through pipeline regime.
 SWEEP_SIZES = tuple(8 * (1 << k) for k in range(0, 15))  # 8 B .. 128 KiB
@@ -213,6 +219,51 @@ def run_report(bench_dir: str = ".",
     return report
 
 
+def run_transports(sizes=SWEEP_SIZES, nodes: int = 4, ppn: int = 24,
+                   socket_mode: str = "compact") -> dict[str, Any]:
+    """Two- vs three-level Hy_Allgather crossover on the 2-socket
+    preset, per registered on-node transport, priced by the model.
+
+    For each transport the three-level exchange (per-socket parallel
+    bridges) is compared against the two-level one and against the flat
+    single-pool node model; ``crossover_nbytes`` locates the message
+    sizes where three-level starts winning.
+    """
+    t0 = time.perf_counter()
+    counts = [ppn] * nodes
+    flat_model = CostModel(hazel_hen(nodes), counts)
+    out: dict[str, Any] = {
+        "nodes": nodes, "ppn": ppn, "socket_mode": socket_mode,
+        "machine": "hazel_hen_2s", "transports": {},
+    }
+    for transport in sorted(TRANSPORTS):
+        spec = hazel_hen_2s(nodes, transport=transport)
+        model = CostModel(spec, counts, socket_mode=socket_mode)
+        rows = []
+        t2, t3 = [], []
+        for nbytes in sizes:
+            two = model.predict("hy_allgather", "shared_window", nbytes)
+            three = model.predict("hy_allgather", "shared_window_3l",
+                                  nbytes)
+            t2.append(two)
+            t3.append(three)
+            rows.append({
+                "nbytes": nbytes,
+                "flat_s": flat_model.predict(
+                    "hy_allgather", "shared_window", nbytes),
+                "two_level_s": two,
+                "three_level_s": three,
+                "speedup": two / three,
+            })
+        out["transports"][transport] = {
+            "rows": rows,
+            "crossover_nbytes": crossover_points(
+                [float(s) for s in sizes], t3, t2),
+        }
+    out["wall_s"] = round(time.perf_counter() - t0, 4)
+    return out
+
+
 def _print_sweep(sweep: dict[str, Any]) -> None:
     for nranks, m in sweep["maps"].items():
         print(f"\n== {int(nranks):,} ranks on {m['nodes']:,} nodes "
@@ -234,6 +285,26 @@ def _print_sweep(sweep: dict[str, Any]) -> None:
           f" points in {sweep['wall_s']:.3f}s wall-clock")
 
 
+def _print_transports(doc: dict[str, Any]) -> None:
+    print(f"\n== 2- vs 3-level Hy_Allgather on {doc['machine']} "
+          f"({doc['nodes']}x{doc['ppn']} ranks, "
+          f"{doc['socket_mode']} mapping) ==")
+    for transport, m in doc["transports"].items():
+        print(f"\n-- transport: {transport} --")
+        print(f"{'bytes/rank':>10}  {'2-level':>12}  {'3-level':>12}"
+              f"  {'speedup':>8}")
+        for row in m["rows"]:
+            print(f"{row['nbytes']:>10}  {row['two_level_s']*1e6:>10.1f}us"
+                  f"  {row['three_level_s']*1e6:>10.1f}us"
+                  f"  {row['speedup']:>7.2f}x")
+        xs = m["crossover_nbytes"]
+        if xs:
+            pretty = ", ".join(f"{x:,.0f} B" for x in xs)
+            print(f"3-level overtakes 2-level at: {pretty}")
+        else:
+            print("no crossover in the swept size range")
+
+
 def _print_report(report: dict[str, Any]) -> None:
     if report["points"]:
         print(f"\n== model vs committed BENCH latencies ==")
@@ -252,7 +323,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-model", description=__doc__.split("\n\n")[0],
     )
     parser.add_argument("command", nargs="?", default="all",
-                        choices=("sweep", "report", "all"))
+                        choices=("sweep", "report", "transports", "all"))
     parser.add_argument("--ranks", type=int, nargs="*", default=None,
                         help="rank counts to sweep (default 10k/65k/1M)")
     parser.add_argument("--machine", default="hazel_hen",
@@ -271,6 +342,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command in ("report", "all"):
         doc["report"] = run_report(bench_dir=args.bench_dir)
         _print_report(doc["report"])
+    if args.command in ("transports", "all"):
+        doc["transports"] = run_transports()
+        _print_transports(doc["transports"])
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(doc, fh, indent=1, sort_keys=True)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.analysis.critical_path import critical_path_report, format_report
 from repro.machine.placement import Placement
-from repro.machine.presets import hazel_hen
+from repro.machine.presets import hazel_hen, hazel_hen_2s
 from repro.mpi.runtime import JobResult, run_program
 from repro.trace import Tracer
 
@@ -32,12 +32,21 @@ def run_traced_allgather(
     detail: str = "phase",
     reps: int = 3,
     warmup: int = 1,
+    sockets: int = 1,
+    socket_mode: str = "compact",
+    transport: str = "shm_two_copy",
 ) -> tuple[JobResult, Tracer]:
     """Run one Fig 9-config allgather with tracing; returns (result, tracer).
 
     *variant* is ``"hybrid"`` (paper Fig 3b/4) or ``"pure"`` (the
     SMP-aware pure-MPI baseline); *elements* are float64 per rank, as in
     the paper's OSU-style sweeps.
+
+    ``sockets=2`` switches to the honest two-socket Hazel Hen node with
+    the given on-node *transport* (see :mod:`repro.machine.transport`)
+    and maps slots to sockets per *socket_mode* — phase spans then carry
+    a ``level`` tag so the exported trace shows which stages ran inside
+    a socket, across sockets, or on the bridge network.
     """
     from repro.bench.osu import (
         hybrid_allgather_program,
@@ -46,16 +55,22 @@ def run_traced_allgather(
 
     if variant not in ("hybrid", "pure"):
         raise ValueError(f"variant must be 'hybrid' or 'pure', got {variant!r}")
+    if sockets == 1:
+        spec = hazel_hen(nodes)
+    elif sockets == 2:
+        spec = hazel_hen_2s(nodes, transport=transport)
+    else:
+        raise ValueError(f"sockets must be 1 or 2, got {sockets!r}")
     program = (
         hybrid_allgather_program if variant == "hybrid"
         else pure_allgather_program
     )
     tracer = Tracer(detail=detail)
     result = run_program(
-        hazel_hen(nodes),
+        spec,
         None,
         program,
-        placement=Placement.block(nodes, ppn),
+        placement=Placement.block(nodes, ppn).with_socket_mode(socket_mode),
         payload="cost-only",
         trace=tracer,
         program_kwargs={

@@ -113,6 +113,7 @@ def osu_allgather_latency(
     warmup: int | None = None,
     payload: str = "cost-only",
     fast_path: bool = True,
+    policy=None,
     **options: Any,
 ) -> float:
     """Measure one (machine, placement, size, variant) point.
@@ -122,6 +123,8 @@ def osu_allgather_latency(
     by default — byte-for-byte the same virtual-time charges as
     ``"model"``/``"full"``, without materializing payload storage (the
     equivalence tests assert identical latencies across modes).
+    *policy* overrides the collective selection policy (e.g. a
+    ``ForcedSelection`` pinning the bridge-exchange variant).
     """
     if variant == "hybrid":
         program, kwargs = hybrid_allgather_program, {
@@ -140,6 +143,7 @@ def osu_allgather_latency(
         placement=placement,
         payload=payload,
         fast_path=fast_path,
+        policy=policy,
         program_kwargs=kwargs,
     )
     return max(result.returns)

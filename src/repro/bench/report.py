@@ -119,6 +119,18 @@ def _check_ext_scaling(result: FigureResult) -> bool:
     return all(r > 1.0 for r in result.series("ratio"))
 
 
+def _check_ext_transport_crossover(result: FigureResult) -> bool:
+    # The 3-level exchange must pay at the smallest size and win at the
+    # largest, on every transport — the crossover is real, not uniform.
+    rows = sorted(result.rows, key=lambda r: r["elements"])
+    small, large = rows[0], rows[-1]
+    return all(
+        small[f"{t}_3l_us"] > small[f"{t}_2l_us"]
+        and large[f"{t}_3l_us"] < large[f"{t}_2l_us"]
+        for t in ("shm", "cma", "pip")
+    )
+
+
 def _check_abl_multileader(result: FigureResult) -> bool:
     return all(
         row["hy_us"] < min(row["leaders1_us"], row["leaders2_us"],
@@ -172,6 +184,10 @@ SHAPE_CHECKS: dict[str, ShapeCheck] = {
     ),
     "ext_strong_scaling": ShapeCheck(
         "advantage persists under strong scaling", _check_ext_scaling
+    ),
+    "ext_transport_crossover": ShapeCheck(
+        "3-level pays at small sizes, wins at large, on every transport",
+        _check_ext_transport_crossover,
     ),
 }
 

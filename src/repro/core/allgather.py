@@ -19,6 +19,8 @@ The bridge exchange may optionally use the chunked pipelined ring of
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.shared_buffer import SharedBuffer
 from repro.core.sync import SyncPolicy
 from repro.mpi.collectives.registry import (
@@ -29,6 +31,7 @@ from repro.mpi.collectives.registry import (
     trace_begin,
     trace_end,
 )
+from repro.mpi.datatypes import Bytes
 
 __all__ = ["hy_allgather", "hy_allgatherv"]
 
@@ -39,10 +42,11 @@ def _select_hy_allgather(ctx, buf, pipelined):
     ``pipelined=True`` is a caller-forced choice (the ablation knob
     predating the registry); ``False``/``None`` delegates to the rank's
     selection policy — the ``shared_window`` descriptor under the
-    default tables, ``pipelined_ring`` when forced via
-    ``REPRO_COLL_HY_ALLGATHER`` or preferred by the cost model.
+    default tables, ``pipelined_ring`` / ``shared_window_3l`` when
+    forced via ``REPRO_COLL_HY_ALLGATHER`` or preferred by the cost
+    model.
 
-    Returns ``(pipelined, span)``; the caller closes the span when the
+    Returns ``(algo_name, span)``; the caller closes the span when the
     collective completes."""
     total = buf.total_nbytes
     comm = ctx.comm
@@ -55,7 +59,87 @@ def _select_hy_allgather(ctx, buf, pipelined):
         )
         name, policy_name = policy.select(comm, req).name, policy.name
     span = trace_begin(comm, "hy_allgather", name, total, policy_name)
-    return name == "pipelined_ring", span
+    return name, span
+
+
+def _socket_payload(buf: SharedBuffer, members: list[int]):
+    """The concatenated contributions of *members* (comm ranks) as one
+    message payload (``Bytes`` in model mode)."""
+    total = sum(buf.size_of_rank(r) for r in members)
+    parts = [
+        buf.region_payload(buf.offset_of_rank(r), buf.size_of_rank(r))
+        for r in members
+    ]
+    if not parts or any(isinstance(p, Bytes) for p in parts):
+        return Bytes(total)
+    return np.concatenate(
+        [np.asarray(p).reshape(-1).view(np.uint8) for p in parts]
+    )
+
+
+def _write_socket_blocks(buf: SharedBuffer, members: list[int], block):
+    """Write one received socket block back into the window, member by
+    member (bookkeeping — the real receive lands in the window)."""
+    if isinstance(block, Bytes):
+        return
+    flat = np.asarray(block).reshape(-1).view(np.uint8)
+    pos = 0
+    for r in members:
+        size = buf.size_of_rank(r)
+        buf.write_region(buf.offset_of_rank(r), flat[pos:pos + size])
+        pos += size
+
+
+def _hy_allgather_3l(ctx, buf: SharedBuffer, sync: SyncPolicy, span):
+    """Three-level bridge exchange: each socket leader runs a parallel
+    allgatherv of its socket's blocks on its own bridge communicator
+    (the s-th socket leaders of every node).
+
+    With ``nic_streams >= sockets`` the per-socket bridges move their
+    (smaller) node blocks concurrently, cutting the bandwidth term of
+    the exchange; the price is one extra on-node completion round —
+    socket leaders must report to the node leader before it may release
+    the post-sync — so small messages favour the two-level variant.
+    """
+    comm = ctx.comm
+    (sock, sleaders, sbridge, socket_id, sbridge_nodes, by_sock) = (
+        yield from ctx.socket_comms()
+    )
+    ph = phase_begin(comm, "pre_sync", level="node")
+    yield from sync.pre_exchange(ctx)
+    phase_end(comm, ph)
+
+    if sock.rank == 0:
+        if sbridge.size > 1:
+            members = by_sock[(ctx.node, socket_id)]
+            ph = phase_begin(comm, "bridge_exchange", buf.total_nbytes,
+                             level="socket")
+            payload = _socket_payload(buf, members)
+            blocks = yield from sbridge.allgatherv(payload)
+            for brank, block in enumerate(blocks):
+                node = sbridge_nodes[brank]
+                if node == ctx.node:
+                    continue
+                _write_socket_blocks(
+                    buf, by_sock[(node, socket_id)], block
+                )
+            phase_end(comm, ph)
+        # Completion round: every socket leader reports to the node
+        # leader so the post-sync release cannot overtake a still-running
+        # parallel bridge.
+        if sleaders.size > 1:
+            ph = phase_begin(comm, "leader_gather", 0, level="node")
+            if sleaders.rank == 0:
+                for src in range(1, sleaders.size):
+                    yield from sleaders.recv(source=src, tag=0)
+            else:
+                yield from sleaders.send(Bytes(0), 0, tag=0)
+            phase_end(comm, ph)
+
+    ph = phase_begin(comm, "post_sync", level="node")
+    yield from sync.post_exchange(ctx)
+    phase_end(comm, ph)
+    trace_end(comm, span)
 
 
 def hy_allgather(
@@ -84,8 +168,12 @@ def hy_allgather(
     node-sorted layout no packing is ever needed.
     """
     sync = sync or ctx.default_sync
-    pipelined, span = _select_hy_allgather(ctx, buf, pipelined)
+    algo, span = _select_hy_allgather(ctx, buf, pipelined)
     comm = ctx.comm
+    if algo == "shared_window_3l" and ctx.multi_node:
+        yield from _hy_allgather_3l(ctx, buf, sync, span)
+        return
+    pipelined = algo == "pipelined_ring"
     if not ctx.multi_node:
         # Fig 4 lines 29-30 / 37-38: single node → a single barrier makes
         # the buffer consistent.

@@ -50,6 +50,7 @@ class HybridContext:
 
     __slots__ = (
         "comm", "shm", "bridge", "layout", "default_sync", "_buffers",
+        "_socket_tier",
     )
 
     def __init__(self, comm, shm, bridge, layout: NodeSortedLayout,
@@ -60,6 +61,7 @@ class HybridContext:
         self.layout = layout
         self.default_sync = default_sync
         self._buffers: dict[Any, SharedBuffer] = {}
+        self._socket_tier = None
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -100,6 +102,73 @@ class HybridContext:
     def multi_node(self) -> bool:
         """True when the bridge exchange is non-trivial (Fig 4 line 24)."""
         return self.num_nodes > 1
+
+    def socket_comms(self):
+        """Coroutine: lazily build (and cache) the socket tier.
+
+        Returns ``(sock, sleaders, sbridge, socket_id, sbridge_nodes,
+        by_sock)``:
+
+        * *sock* — this rank's socket-domain communicator (members of
+          its node sharing its socket);
+        * *sleaders* — this node's socket leaders (None off-leaders);
+        * *sbridge* — the ``socket_id``-th socket leaders of every node
+          hosting that socket (None off-leaders) — the parallel bridge
+          of the 3-level exchange;
+        * *sbridge_nodes* — node id per *sbridge* rank;
+        * *by_sock* — ``(node, socket) -> comm ranks``.
+
+        Built from globally-known placement via the deterministic-child
+        registry (no rendezvous), and only on demand, so two-level runs
+        never pay for (or even create) the extra communicators.
+        """
+        if self._socket_tier is not None:
+            return self._socket_tier
+        comm = self.comm
+        rctx = comm.ctx
+        placement = rctx.placement
+        node_spec = rctx.machine.spec.node
+        shared = comm.shared_cache
+        by_sock = shared.get("_hy_by_socket")
+        if by_sock is None:
+            by_sock = {}
+            for r in range(comm.size):
+                w = comm.world_rank_of(r)
+                key = (
+                    placement.node_of(w),
+                    placement.socket_of(w, node_spec),
+                )
+                by_sock.setdefault(key, []).append(r)
+            shared["_hy_by_socket"] = by_sock
+        w = rctx.world_rank
+        my_node = placement.node_of(w)
+        my_sock = placement.socket_of(w, node_spec)
+        sock = comm.subcomm(
+            ("hy_sock", my_node, my_sock), by_sock[(my_node, my_sock)]
+        )
+        is_sock_leader = sock.rank == 0
+        sleaders = None
+        sbridge = None
+        sbridge_nodes: list[int] = []
+        if is_sock_leader:
+            node_sleaders = [
+                ranks[0]
+                for (n, _s), ranks in sorted(by_sock.items())
+                if n == my_node
+            ]
+            sleaders = comm.subcomm(("hy_sleaders", my_node), node_sleaders)
+            members = []
+            for (n, s), ranks in sorted(by_sock.items()):
+                if s == my_sock:
+                    members.append(ranks[0])
+                    sbridge_nodes.append(n)
+            sbridge = comm.subcomm(("hy_sbridge", my_sock), members)
+        self._socket_tier = (
+            sock, sleaders, sbridge, my_sock, sbridge_nodes, by_sock
+        )
+        if False:  # pragma: no cover - keeps this a generator function
+            yield None
+        return self._socket_tier
 
     def bridge_rank_of_node(self, node: int) -> int:
         """Bridge-comm rank of *node*'s leader (nodes ascend in bridge)."""

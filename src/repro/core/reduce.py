@@ -35,6 +35,18 @@ from repro.mpi.datatypes import Bytes, nbytes_of
 __all__ = ["hy_allreduce", "hy_reduce"]
 
 
+def _fold_factor(ctx) -> float:
+    """Memory-pass multiplier for the leader's local fold.
+
+    The baseline charge (one contended streaming pass over ``ppn*n``
+    bytes) models the classic copy-then-reduce fold, i.e. the
+    ``reduce_passes=2`` transports.  A transport that can stream the
+    peers' buffers straight through the reduction (PiP direct
+    load/store, ``reduce_passes=1``) halves the traffic.
+    """
+    return ctx.comm.ctx.machine.transport.reduce_passes / 2.0
+
+
 def _scratch_buffer(ctx, nbytes: int):
     """Coroutine: (cached) scratch window — ppn contribution slots plus
     one result region, all node-local."""
@@ -88,7 +100,7 @@ def hy_allreduce(ctx, contribution: Any, nbytes: int,
     if ctx.is_leader:
         # Stage 2: local reduction (stream ppn slots through memory).
         ppn = scratch.layout.node_count(ctx.node)
-        yield from ctx.comm.ctx.touch(ppn * nbytes)
+        yield from ctx.comm.ctx.touch(ppn * nbytes * _fold_factor(ctx))
         yield ctx.comm.ctx.compute_flops(ppn * nbytes / 8.0, kind="blas1")
         partial = _node_partial(ctx, scratch, nbytes, op)
         # Stage 3: bridge allreduce among leaders.
@@ -130,7 +142,7 @@ def hy_reduce(ctx, contribution: Any, nbytes: int,
 
     if ctx.is_leader:
         ppn = scratch.layout.node_count(ctx.node)
-        yield from ctx.comm.ctx.touch(ppn * nbytes)
+        yield from ctx.comm.ctx.touch(ppn * nbytes * _fold_factor(ctx))
         yield ctx.comm.ctx.compute_flops(ppn * nbytes / 8.0, kind="blas1")
         partial = _node_partial(ctx, scratch, nbytes, op)
         if ctx.multi_node:

@@ -25,7 +25,13 @@ from repro.machine.compute import ComputeModel
 from repro.machine.model import Machine, MachineSpec, NodeSpec
 from repro.machine.network import NetworkModel, NetworkSpec
 from repro.machine.placement import Placement
-from repro.machine.presets import hazel_hen, testing_machine, vulcan
+from repro.machine.presets import (
+    hazel_hen,
+    hazel_hen_2s,
+    hazel_hen_flat,
+    testing_machine,
+    vulcan,
+)
 from repro.machine.topology import (
     DragonflyTopology,
     FatTreeTopology,
@@ -33,6 +39,7 @@ from repro.machine.topology import (
     Topology,
     TorusTopology,
 )
+from repro.machine.transport import TRANSPORTS, Transport, get_transport
 
 __all__ = [
     "ComputeModel",
@@ -45,9 +52,14 @@ __all__ = [
     "NetworkSpec",
     "NodeSpec",
     "Placement",
+    "TRANSPORTS",
     "Topology",
     "TorusTopology",
+    "Transport",
+    "get_transport",
     "hazel_hen",
+    "hazel_hen_2s",
+    "hazel_hen_flat",
     "testing_machine",
     "vulcan",
 ]

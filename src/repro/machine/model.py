@@ -26,6 +26,7 @@ from repro.machine.compute import ComputeModel
 from repro.machine.network import NetworkModel, NetworkSpec
 from repro.machine.placement import Placement
 from repro.machine.topology import Topology
+from repro.machine.transport import Transport, get_transport
 from repro.simulator import BandwidthChannel, Engine
 
 __all__ = ["NodeSpec", "MachineSpec", "Machine"]
@@ -40,16 +41,34 @@ class NodeSpec:
     cores:
         Cores per node (Hazel Hen / Vulcan: 24).
     mem_bandwidth:
-        Aggregate sustainable memory bandwidth, bytes/second.
+        Sustainable memory bandwidth *per socket*, bytes/second.  With
+        the default ``sockets=1`` this is the whole node's pool, exactly
+        as before the socket tier existed.
     mem_streams:
-        Concurrent memory streams at full per-stream rate; beyond this,
-        copies queue.  Models channel/LLC contention.
+        Concurrent memory streams at full per-stream rate *per socket*;
+        beyond this, copies queue.  Models channel/LLC contention.
     shm_latency:
         Per-message latency of one intra-node (shared-memory transport)
         hop, seconds.
     cache_line:
         Cache-line size in bytes (used for false-sharing diagnostics in
         the shared-flag synchronization model).
+    sockets:
+        NUMA/socket domains per node.  ``1`` (default) keeps the flat
+        node model; ``>1`` gives each socket its own memory channel and
+        adds a cross-socket interconnect.
+    xsocket_bandwidth:
+        Bandwidth of the cross-socket interconnect (QPI/UPI-like),
+        bytes/second.  Only meaningful when ``sockets > 1``.
+    xsocket_streams:
+        Concurrent full-rate streams on the cross-socket link.
+    xsocket_latency:
+        Extra per-message latency of one cross-socket hop, seconds
+        (added on top of ``shm_latency`` for cross-socket messages).
+    transport:
+        On-node transport name (see :mod:`repro.machine.transport`):
+        ``shm_two_copy`` (default, today's CICO), ``cma_single_copy``
+        or ``pip_direct``.
     """
 
     cores: int = 24
@@ -57,15 +76,37 @@ class NodeSpec:
     mem_streams: int = 6
     shm_latency: float = 3.0e-7
     cache_line: int = 64
+    sockets: int = 1
+    xsocket_bandwidth: float = 19.2e9
+    xsocket_streams: int = 2
+    xsocket_latency: float = 1.0e-7
+    transport: str = "shm_two_copy"
 
     @property
     def copy_beta(self) -> float:
         """Seconds/byte of one staged shared-memory copy on an
-        otherwise idle node: each copy streams ``2n`` bytes (read +
+        otherwise idle socket: each copy streams ``2n`` bytes (read +
         write) through one of the ``mem_streams`` full-rate streams.
         This is the shm beta term of the analytic model
         (:mod:`repro.analysis.model`)."""
         return 2.0 * self.mem_streams / self.mem_bandwidth
+
+    @property
+    def xsocket_beta(self) -> float:
+        """Seconds/byte of one staged copy over the cross-socket link
+        on an otherwise idle node (read + write = ``2n`` bytes through
+        one of the ``xsocket_streams`` full-rate streams)."""
+        return 2.0 * self.xsocket_streams / self.xsocket_bandwidth
+
+    @property
+    def cores_per_socket(self) -> int:
+        """Cores in each socket domain (``cores / sockets``)."""
+        return self.cores // self.sockets
+
+    @property
+    def transport_spec(self) -> Transport:
+        """The resolved :class:`~repro.machine.transport.Transport`."""
+        return get_transport(self.transport)
 
     def validate(self) -> None:
         if self.cores < 1:
@@ -76,6 +117,21 @@ class NodeSpec:
             raise ValueError("mem_streams must be >= 1")
         if self.shm_latency < 0:
             raise ValueError("shm_latency must be non-negative")
+        if self.sockets < 1:
+            raise ValueError("sockets must be >= 1")
+        if self.sockets > 1:
+            if self.cores % self.sockets != 0:
+                raise ValueError(
+                    f"cores ({self.cores}) must divide evenly into "
+                    f"{self.sockets} sockets"
+                )
+            if self.xsocket_bandwidth <= 0:
+                raise ValueError("xsocket_bandwidth must be positive")
+            if self.xsocket_streams < 1:
+                raise ValueError("xsocket_streams must be >= 1")
+            if self.xsocket_latency < 0:
+                raise ValueError("xsocket_latency must be non-negative")
+        get_transport(self.transport).validate()
 
 
 @dataclass(frozen=True)
@@ -151,15 +207,49 @@ class Machine:
             link_contention=link_contention,
         )
         node = spec.node
-        self._memory = [
-            BandwidthChannel(
-                engine,
-                node.mem_bandwidth,
-                node.mem_streams,
-                name=f"node{i}.mem",
-            )
-            for i in range(spec.num_nodes)
-        ]
+        self.transport = get_transport(node.transport)
+        #: True when the on-node path is exactly the pre-socket-tier
+        #: model (one memory pool, two-copy CICO).  ``mpi.p2p`` keeps
+        #: its original inline fast path when this holds, which is what
+        #: makes ``sockets=1`` + ``shm_two_copy`` bit-identical.
+        self.flat_intra = node.sockets == 1 and node.transport == "shm_two_copy"
+        if node.sockets == 1:
+            self._memory = [
+                BandwidthChannel(
+                    engine,
+                    node.mem_bandwidth,
+                    node.mem_streams,
+                    name=f"node{i}.mem",
+                )
+                for i in range(spec.num_nodes)
+            ]
+            self._socket_mem = [[chan] for chan in self._memory]
+            self._xsocket: list[BandwidthChannel] | None = None
+        else:
+            self._socket_mem = [
+                [
+                    BandwidthChannel(
+                        engine,
+                        node.mem_bandwidth,
+                        node.mem_streams,
+                        name=f"node{i}.s{s}.mem",
+                    )
+                    for s in range(node.sockets)
+                ]
+                for i in range(spec.num_nodes)
+            ]
+            # Legacy alias used by socket-oblivious charging (e.g. the
+            # per-node shared window): socket 0's channel.
+            self._memory = [row[0] for row in self._socket_mem]
+            self._xsocket = [
+                BandwidthChannel(
+                    engine,
+                    node.xsocket_bandwidth,
+                    node.xsocket_streams,
+                    name=f"node{i}.xlink",
+                )
+                for i in range(spec.num_nodes)
+            ]
         self.intra_copies = 0
         self.intra_bytes = 0.0
         self._placement: Placement | None = None
@@ -187,8 +277,46 @@ class Machine:
         return self.spec.num_nodes
 
     def memory(self, node: int) -> BandwidthChannel:
-        """The contended memory system of *node*."""
+        """The contended memory system of *node* (socket 0 when the
+        node has several sockets)."""
         return self._memory[node]
+
+    # -- socket tier -----------------------------------------------------
+    @property
+    def num_sockets(self) -> int:
+        """Socket domains per node (1 for flat nodes)."""
+        return self.spec.node.sockets
+
+    def socket_of(self, rank: int) -> int:
+        """Socket domain hosting *rank* (0 on flat nodes)."""
+        if self.spec.node.sockets == 1:
+            return 0
+        return self.placement.socket_of(rank, self.spec.node)
+
+    def socket_memory(self, node: int, socket: int) -> BandwidthChannel:
+        """The contended memory system of one socket of *node*."""
+        return self._socket_mem[node][socket]
+
+    def xsocket_link(self, node: int) -> BandwidthChannel:
+        """The cross-socket interconnect of *node* (sockets > 1 only)."""
+        if self._xsocket is None:
+            raise RuntimeError("machine has flat nodes (sockets=1)")
+        return self._xsocket[node]
+
+    def staged_copy(self, node: int, socket: int, nbytes: float):
+        """Coroutine: one staged copy (``2n`` bytes) on a socket channel."""
+        self.intra_copies += 1
+        self.intra_bytes += nbytes
+        yield self._socket_mem[node][socket].transfer(2.0 * nbytes)
+        return nbytes
+
+    def xsocket_copy(self, node: int, nbytes: float):
+        """Coroutine: one staged copy (``2n`` bytes) over the
+        cross-socket link of *node*."""
+        self.intra_copies += 1
+        self.intra_bytes += nbytes
+        yield self.xsocket_link(node).transfer(2.0 * nbytes)
+        return nbytes
 
     def memory_copy(self, node: int, nbytes: float, copies: int = 1):
         """Coroutine: perform *copies* sequential memory copies of *nbytes*.
@@ -214,15 +342,17 @@ class Machine:
         yield from self.memory_copy(node, nbytes, copies=2)
         return nbytes
 
-    def shared_touch(self, node: int, nbytes: float):
+    def shared_touch(self, node: int, nbytes: float, socket: int = 0):
         """Coroutine: direct load/store access to shared memory.
 
         One pass over the data (no staging copy) — the hybrid model's
-        cost for a process reading its neighbours' contribution in place.
+        cost for a process reading its neighbours' contribution in
+        place.  *socket* selects which socket's memory channel is
+        charged (the toucher's socket; 0 on flat nodes).
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        yield self._memory[node].transfer(nbytes)
+        yield self._socket_mem[node][socket].transfer(nbytes)
         return nbytes
 
     # -- convenience -----------------------------------------------------

@@ -25,15 +25,40 @@ class Placement:
     * :meth:`explicit` — arbitrary rank→node list.
     """
 
-    def __init__(self, node_of_rank: Sequence[int], num_nodes: int, kind: str):
+    #: Valid slot→socket mapping modes (only meaningful on machines
+    #: whose nodes declare ``sockets > 1``):
+    #:
+    #: * ``"compact"`` — fill socket 0 before socket 1 (the OS default
+    #:   of ``--map-by socket:SPAN=no``); slot s lands on socket
+    #:   ``s // cores_per_socket``.
+    #: * ``"scatter"`` — alternate sockets (``s % sockets``), spreading
+    #:   consecutive ranks across memory domains.
+    #: * ``"balanced"`` — split the node's ranks evenly across sockets
+    #:   while keeping consecutive ranks together
+    #:   (``s * sockets // ppn``), even for partially filled nodes.
+    SOCKET_MODES = ("compact", "scatter", "balanced")
+
+    def __init__(
+        self,
+        node_of_rank: Sequence[int],
+        num_nodes: int,
+        kind: str,
+        socket_mode: str = "compact",
+    ):
         node_of = list(int(n) for n in node_of_rank)
         if not node_of:
             raise ValueError("placement must contain at least one rank")
         if any(n < 0 or n >= num_nodes for n in node_of):
             raise ValueError("rank mapped to node outside the machine")
+        if socket_mode not in self.SOCKET_MODES:
+            raise ValueError(
+                f"unknown socket_mode {socket_mode!r} "
+                f"(have: {', '.join(self.SOCKET_MODES)})"
+            )
         self._node_of = node_of
         self.num_nodes = int(num_nodes)
         self.kind = kind
+        self.socket_mode = socket_mode
         self._ranks_on: list[list[int]] = [[] for _ in range(num_nodes)]
         for rank, node in enumerate(node_of):
             self._ranks_on[node].append(rank)
@@ -127,6 +152,41 @@ class Placement:
                 expected += 1
         return True
 
+    # -- socket tier ---------------------------------------------------------
+    def with_socket_mode(self, socket_mode: str) -> "Placement":
+        """A copy of this placement using *socket_mode* for the
+        slot→socket map (see :data:`SOCKET_MODES`)."""
+        return Placement(
+            self._node_of, self.num_nodes, self.kind, socket_mode=socket_mode
+        )
+
+    def socket_of(self, rank: int, node_spec) -> int:
+        """Socket domain hosting *rank* on a node shaped like
+        *node_spec* (a :class:`~repro.machine.model.NodeSpec`).
+
+        Flat nodes (``sockets == 1``) always answer 0.  Otherwise the
+        rank's on-node slot is mapped per :attr:`socket_mode`.
+        """
+        sockets = node_spec.sockets
+        if sockets <= 1:
+            return 0
+        slot = self._slot_of[rank]
+        if self.socket_mode == "compact":
+            return min(slot // node_spec.cores_per_socket, sockets - 1)
+        if self.socket_mode == "scatter":
+            return slot % sockets
+        # balanced
+        ppn = len(self._ranks_on[self._node_of[rank]])
+        return min(slot * sockets // ppn, sockets - 1)
+
+    def socket_ranks_on(self, node: int, socket: int, node_spec) -> list[int]:
+        """World ranks of *node* living on *socket*, ascending."""
+        return [
+            r
+            for r in self._ranks_on[node]
+            if self.socket_of(r, node_spec) == socket
+        ]
+
     def node_sorted_ranks(self) -> list[int]:
         """The node-sorted global rank array of paper §6.
 
@@ -142,14 +202,16 @@ class Placement:
 
     def __eq__(self, other: object) -> bool:
         return (
-            isinstance(other, Placement) and self._node_of == other._node_of
+            isinstance(other, Placement)
+            and self._node_of == other._node_of
+            and self.socket_mode == other.socket_mode
         )
 
     def __hash__(self) -> int:
-        return hash(tuple(self._node_of))
+        return hash((tuple(self._node_of), self.socket_mode))
 
     def __repr__(self) -> str:
         return (
             f"Placement(kind={self.kind!r}, nodes={self.num_nodes}, "
-            f"ranks={self.num_ranks})"
+            f"ranks={self.num_ranks}, socket_mode={self.socket_mode!r})"
         )

@@ -19,19 +19,49 @@ reproduction targets curve *shapes* and crossovers (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.machine.compute import ComputeModel
 from repro.machine.model import MachineSpec, NodeSpec
 from repro.machine.network import NetworkSpec
 
-__all__ = ["hazel_hen", "vulcan", "testing_machine"]
+__all__ = [
+    "hazel_hen",
+    "hazel_hen_2s",
+    "hazel_hen_flat",
+    "vulcan",
+    "testing_machine",
+]
 
 #: Shared Haswell node calibration (both clusters use identical nodes).
+#:
+#: This is the *flat* (single memory pool) stand-in: the real node is
+#: 2× E5-2680v3, i.e. two sockets of ~30 GB/s sustained each, and this
+#: spec folds them into one 60 GB/s aggregate pool with no cross-socket
+#: penalty.  :data:`_HASWELL_NODE_2S` is the honest per-socket version
+#: with the same aggregate bandwidth.
 _HASWELL_NODE = NodeSpec(
     cores=24,
-    mem_bandwidth=60.0e9,   # ~2/3 of 2-socket DDR4-2133 peak
+    mem_bandwidth=60.0e9,   # aggregate of both sockets (2 x ~30 GB/s)
     mem_streams=6,          # sustained full-rate copy streams per node
     shm_latency=0.45e-6,    # one CICO hop, on-node
     cache_line=64,
+)
+
+#: Honest 2-socket Haswell node: per-socket bandwidth/streams are half
+#: the flat aggregate (2 x 30 GB/s = 60 GB/s, 2 x 3 = 6 streams), plus
+#: a QPI-like cross-socket link (9.6 GT/s x 2 links ~ 19.2 GB/s) with
+#: its own latency hop.
+_HASWELL_NODE_2S = NodeSpec(
+    cores=24,
+    mem_bandwidth=30.0e9,   # per socket; aggregate matches the flat 60 GB/s
+    mem_streams=3,          # per socket; aggregate matches the flat 6
+    shm_latency=0.45e-6,
+    cache_line=64,
+    sockets=2,
+    xsocket_bandwidth=19.2e9,  # QPI 9.6 GT/s, both directions
+    xsocket_streams=2,
+    xsocket_latency=1.0e-7,    # extra hop for a remote-socket access
 )
 
 _HASWELL_COMPUTE = ComputeModel(
@@ -59,6 +89,30 @@ def hazel_hen(num_nodes: int) -> MachineSpec:
         ),
         compute=_HASWELL_COMPUTE,
         topology_kind="dragonfly",
+    )
+
+
+def hazel_hen_flat(num_nodes: int) -> MachineSpec:
+    """Single-socket alias of :func:`hazel_hen` (the historical flat
+    node model), kept verbatim so existing sweeps stay reproducible."""
+    return hazel_hen(num_nodes)
+
+
+def hazel_hen_2s(
+    num_nodes: int, transport: str = "shm_two_copy"
+) -> MachineSpec:
+    """Hazel Hen with the honest 2-socket node model.
+
+    Same network/compute calibration as :func:`hazel_hen`; the node is
+    expressed as two 30 GB/s sockets joined by a QPI-like link instead
+    of one 60 GB/s pool.  *transport* selects the on-node data path
+    (see :mod:`repro.machine.transport`).
+    """
+    flat = hazel_hen(num_nodes)
+    return replace(
+        flat,
+        name="hazel_hen_2s",
+        node=replace(_HASWELL_NODE_2S, transport=transport),
     )
 
 
@@ -94,11 +148,17 @@ def testing_machine(
     mem_bandwidth: float = 10.0e9,
     shm_latency: float = 1.0e-7,
     eager_threshold: int = 4096,
+    sockets: int = 1,
+    xsocket_bandwidth: float = 5.0e9,
+    xsocket_latency: float = 5.0e-8,
+    transport: str = "shm_two_copy",
 ) -> MachineSpec:
     """Small, round-number machine for unit tests.
 
     Parameters are chosen so hand-computed expected times are exact
-    binary floats (powers of ten divided by powers of two).
+    binary floats (powers of ten divided by powers of two).  With
+    ``sockets > 1`` the given ``mem_bandwidth`` is interpreted per
+    socket (as in :class:`~repro.machine.model.NodeSpec`).
     """
     return MachineSpec(
         name="testing",
@@ -108,6 +168,11 @@ def testing_machine(
             mem_bandwidth=mem_bandwidth,
             mem_streams=2,
             shm_latency=shm_latency,
+            sockets=sockets,
+            xsocket_bandwidth=xsocket_bandwidth,
+            xsocket_streams=1,
+            xsocket_latency=xsocket_latency,
+            transport=transport,
         ),
         network=NetworkSpec(
             alpha=alpha,

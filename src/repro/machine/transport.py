@@ -1,0 +1,105 @@
+"""Pluggable on-node transports.
+
+The cost of an intra-node MPI message depends on *how* the bytes move
+between the two private address spaces:
+
+* ``shm_two_copy`` — classic CICO through a shared staging buffer
+  (MPICH/Open MPI/Cray MPI default): the sender copies into the staging
+  buffer and the receiver copies out, so every eager message pays two
+  staged copies.  Rendezvous (LMT) transfers pay one copy once matched.
+* ``cma_single_copy`` — Cross Memory Attach (``process_vm_readv``) or
+  XPMEM: the kernel moves the bytes directly between the two address
+  spaces in a single copy, at the price of a per-message syscall that
+  roughly doubles the transport latency.
+* ``pip_direct`` — Process-in-Process (Hou et al., PAPERS.md): ranks
+  share one address space, so a message is a plain ``memcpy`` (one
+  copy, no syscall) and reductions can stream the peer's buffer
+  directly (one pass instead of copy + reduce).
+
+A :class:`Transport` is a bag of multipliers consumed by
+:mod:`repro.mpi.p2p`, :mod:`repro.mpi.shm` and the analytic model
+(:mod:`repro.analysis.model`); it never touches the engine itself, so
+transports stay trivially deterministic.
+
+>>> get_transport("shm_two_copy").eager_copies
+2
+>>> get_transport("pip_direct").reduce_passes
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Transport", "TRANSPORTS", "get_transport"]
+
+
+@dataclass(frozen=True)
+class Transport:
+    """On-node data-path description.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``shm_two_copy``, ``cma_single_copy``,
+        ``pip_direct``).
+    eager_copies:
+        Staged copies per eager message (each moves ``2n`` bytes through
+        the memory system: one read + one write pass).
+    rdv_copies:
+        Staged copies per rendezvous (LMT) message once matched.
+    latency_scale:
+        Multiplier on ``NodeSpec.shm_latency`` per message (CMA pays a
+        syscall per message, so ~2x).
+    reduce_passes:
+        Memory passes a leader needs to fold one remote contribution
+        into its accumulator: 2 for copy-then-reduce, 1 when the
+        transport can stream the peer buffer directly (PiP).
+    """
+
+    name: str
+    eager_copies: int = 2
+    rdv_copies: int = 1
+    latency_scale: float = 1.0
+    reduce_passes: int = 2
+
+    def validate(self) -> None:
+        if self.eager_copies < 1:
+            raise ValueError("eager_copies must be >= 1")
+        if self.rdv_copies < 1:
+            raise ValueError("rdv_copies must be >= 1")
+        if self.latency_scale <= 0:
+            raise ValueError("latency_scale must be positive")
+        if self.reduce_passes < 1:
+            raise ValueError("reduce_passes must be >= 1")
+
+
+#: Registered transports, keyed by name.
+TRANSPORTS: dict[str, Transport] = {
+    t.name: t
+    for t in (
+        Transport("shm_two_copy", eager_copies=2, rdv_copies=1,
+                  latency_scale=1.0, reduce_passes=2),
+        Transport("cma_single_copy", eager_copies=1, rdv_copies=1,
+                  latency_scale=2.0, reduce_passes=2),
+        Transport("pip_direct", eager_copies=1, rdv_copies=1,
+                  latency_scale=1.0, reduce_passes=1),
+    )
+}
+
+
+def get_transport(name: str) -> Transport:
+    """Look up a registered transport by name.
+
+    >>> get_transport("cma_single_copy").latency_scale
+    2.0
+    >>> get_transport("nope")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown transport 'nope' (have: cma_single_copy, pip_direct, shm_two_copy)
+    """
+    try:
+        return TRANSPORTS[name]
+    except KeyError:
+        have = ", ".join(sorted(TRANSPORTS))
+        raise ValueError(f"unknown transport {name!r} (have: {have})") from None

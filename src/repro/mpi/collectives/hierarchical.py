@@ -32,6 +32,7 @@ __all__ = [
     "hier_reduce",
     "hier_allreduce",
     "multileader_allgather",
+    "smp_3level_allgather",
 ]
 
 
@@ -87,6 +88,27 @@ def hier_comms(comm):
 def _parent_rank_of(comm, shm, sub_rank: int) -> int:
     """Translate a shared-memory comm rank to its parent-comm rank."""
     return comm.group.rank_of(shm.world_rank_of(sub_rank))
+
+
+def _by_socket_map(comm) -> dict[tuple[int, int], list[int]]:
+    """``(node, socket) -> comm ranks`` of *comm*, computed once.
+
+    Like :func:`_by_node_map` but one level deeper: the socket domain is
+    a pure function of placement + node shape, so this too lives in the
+    shared cache.
+    """
+    shared = comm.shared_cache
+    by_sock = shared.get("_by_socket")
+    if by_sock is None:
+        placement = comm.ctx.placement
+        node_spec = comm.ctx.machine.spec.node
+        by_sock = {}
+        for r in range(comm.size):
+            w = comm.world_rank_of(r)
+            key = (placement.node_of(w), placement.socket_of(w, node_spec))
+            by_sock.setdefault(key, []).append(r)
+        shared["_by_socket"] = by_sock
+    return by_sock
 
 
 def _select_shm_bcast(shm, nbytes: int):
@@ -359,5 +381,105 @@ def multileader_allgather(comm, payload: Any, tag: int, leaders_per_node: int,
     shm_bcast = _select_shm_bcast(slice_comm, total)
     ph = phase_begin(comm, "on_node_bcast", total)
     full = yield from shm_bcast(slice_comm, part, 0, tag + 2)
+    phase_end(comm, ph)
+    return full
+
+
+def smp_3level_allgather(comm, payload: Any, tag: int, select_bridge,
+                         total_nbytes: int | None = None) -> Any:
+    """Three-level leader-based allgather for multi-socket nodes.
+
+    Adds a socket tier below the node tier of :func:`hier_allgather`:
+    (1) ranks gather at their *socket* leader, (2) socket leaders gather
+    at the *node* leader, (3) node leaders exchange on the bridge,
+    (4) the node leader broadcasts to its socket leaders, (5) each
+    socket leader broadcasts within its socket.  Stages 1/2 and 4/5
+    keep p2p traffic inside one memory domain except for the single
+    socket-leader hop, which is what a NUMA-aware MPI does and the flat
+    two-level gather does not.
+
+    Phase spans carry ``level`` ("socket" / "node" / "bridge") so the
+    critical-path decomposition can attribute cross-socket time.
+    """
+    from repro.mpi.collectives.gather import gather_binomial
+    from repro.mpi.collectives.registry import phase_begin, phase_end
+
+    cache = comm.hier_cache
+    if "s3l" not in cache:
+        _shm, bridge = yield from hier_comms(comm)
+        by_sock = _by_socket_map(comm)
+        placement = comm.ctx.placement
+        node_spec = comm.ctx.machine.spec.node
+        w = comm.ctx.world_rank
+        my_key = (placement.node_of(w), placement.socket_of(w, node_spec))
+        sock = comm.subcomm(("s3l_sock",) + my_key, by_sock[my_key])
+        node_sleaders = [
+            ranks[0]
+            for (n, _s), ranks in sorted(by_sock.items())
+            if n == my_key[0]
+        ]
+        sleaders = (
+            comm.subcomm(("s3l_sleaders", my_key[0]), node_sleaders)
+            if sock.rank == 0
+            else None
+        )
+        cache["s3l"] = (sock, sleaders, bridge)
+    sock, sleaders, bridge = cache["s3l"]
+
+    # Stage 1: gather blocks at the socket leader (intra-socket p2p).
+    ph = phase_begin(comm, "socket_gather", nbytes_of(payload),
+                     level="socket")
+    local = yield from gather_binomial(sock, payload, 0, tag)
+    phase_end(comm, ph)
+    sock_blocks = None
+    if sock.rank == 0:
+        sock_blocks = BlockSet(
+            {
+                comm.group.rank_of(sock.world_rank_of(sub)): blk
+                for sub, blk in local.blocks.items()
+            }
+        )
+    # Stage 2: socket leaders gather at the node leader (one
+    # cross-socket hop per non-leader socket).
+    node_blocks = None
+    if sleaders is not None:
+        if sleaders.size > 1:
+            ph = phase_begin(comm, "node_gather", sock_blocks.nbytes,
+                             level="node")
+            gathered = yield from gather_binomial(
+                sleaders, sock_blocks, 0, tag + 1
+            )
+            phase_end(comm, ph)
+            if sleaders.rank == 0:
+                node_blocks = BlockSet()
+                for piece in gathered.blocks.values():
+                    node_blocks.merge(piece)
+        elif sleaders.rank == 0:
+            node_blocks = sock_blocks
+    # Stage 3: node leaders exchange aggregated node blocks.
+    full = None
+    if bridge is not None:
+        if bridge.size > 1:
+            ph = phase_begin(comm, "bridge_exchange", node_blocks.nbytes,
+                             level="bridge")
+            exchanged = yield from select_bridge(bridge, node_blocks, tag + 2)
+            phase_end(comm, ph)
+            full = BlockSet()
+            for node_set in exchanged.blocks.values():
+                full.merge(node_set)
+        else:
+            full = node_blocks
+    if total_nbytes is None:
+        total_nbytes = nbytes_of(payload) * comm.size
+    # Stage 4: node leader broadcasts the result to its socket leaders.
+    if sleaders is not None and sleaders.size > 1:
+        shm_bcast = _select_shm_bcast(sleaders, total_nbytes)
+        ph = phase_begin(comm, "node_bcast", total_nbytes, level="node")
+        full = yield from shm_bcast(sleaders, full, 0, tag + 3)
+        phase_end(comm, ph)
+    # Stage 5: socket leaders broadcast within their socket.
+    shm_bcast = _select_shm_bcast(sock, total_nbytes)
+    ph = phase_begin(comm, "socket_bcast", total_nbytes, level="socket")
+    full = yield from shm_bcast(sock, full, 0, tag + 4)
     phase_end(comm, ph)
     return full

@@ -553,23 +553,31 @@ def trace_end(comm, span: dict | None) -> None:
         comm.ctx.trace.end(span, comm.ctx.engine.now)
 
 
-def phase_begin(comm, phase: str, nbytes: int = 0) -> dict | None:
+def phase_begin(
+    comm, phase: str, nbytes: int = 0, level: str | None = None
+) -> dict | None:
     """Open a nested phase span of a composite collective.
 
     Recorded only at trace detail ``"phase"`` or finer; the tracer links
     it to the innermost open span of the same rank (normally the
-    dispatch span of the enclosing collective)."""
+    dispatch span of the enclosing collective).  *level* tags the
+    hierarchy tier of socket-aware phases (``"socket"`` / ``"node"`` /
+    ``"bridge"``); flat and two-level phases omit it, keeping their
+    records unchanged."""
     tracer = comm.ctx.trace
     if tracer is None or not tracer.wants("phase"):
         return None
-    return tracer.begin({
+    rec = {
         "t": comm.ctx.engine.now,
         "rank": comm.ctx.world_rank,
         "comm": comm.name,
         "kind": "phase",
         "phase": phase,
         "nbytes": nbytes,
-    })
+    }
+    if level is not None:
+        rec["level"] = level
+    return tracer.begin(rec)
 
 
 #: Closing a phase span is identical to closing a dispatch span.
@@ -653,6 +661,17 @@ def _run_smp_allgather(comm, payload, tag, total):
         return result
 
     full = yield from hier.hier_allgather(
+        comm, payload, tag, bridge_xchg, total_nbytes=total
+    )
+    return full
+
+
+def _run_smp3_allgather(comm, payload, tag, total):
+    def bridge_xchg(bridge, node_blocks, btag):
+        result = yield from bridge_allgatherv(bridge, node_blocks, btag, total)
+        return result
+
+    full = yield from hier.smp_3level_allgather(
         comm, payload, tag, bridge_xchg, total_nbytes=total
     )
     return full
@@ -769,6 +788,20 @@ def _multinode_only(comm, req) -> bool:
     return comm_shape(comm)[0] > 1
 
 
+def _multi_socket(comm) -> bool:
+    return comm.ctx.machine.spec.node.sockets > 1
+
+
+def _socket_hier_only(comm, req) -> bool:
+    """3-level hierarchical forms: need both tiers to be non-trivial."""
+    return spans_hierarchy(comm) and _multi_socket(comm)
+
+
+def _socket_multinode_only(comm, req) -> bool:
+    """3-level hybrid forms: need a bridge and a socket tier."""
+    return comm_shape(comm)[0] > 1 and _multi_socket(comm)
+
+
 # ---------------------------------------------------------------------------
 # Cost estimators
 # ---------------------------------------------------------------------------
@@ -812,6 +845,8 @@ _reg("allgather", "smp_hierarchical", _run_smp_allgather,
      applicable=_hier_only, kind="hierarchical")
 _reg("allgather", "multileader", _run_multileader_allgather,
      applicable=_hier_only, kind="hierarchical")
+_reg("allgather", "smp_3level", _run_smp3_allgather,
+     applicable=_socket_hier_only, kind="hierarchical")
 
 _reg("allgatherv", "bruck_v", _ignore_total(allgatherv_bruck))
 _reg("allgatherv", "ring_v", _ignore_total(allgatherv_ring))
@@ -870,4 +905,6 @@ _reg("barrier", "dissemination", _run_barrier_dissemination)
 _reg("hy_allgather", "shared_window", _not_runnable, kind="hybrid")
 _reg("hy_allgather", "pipelined_ring", _not_runnable,
      applicable=_multinode_only, kind="hybrid")
+_reg("hy_allgather", "shared_window_3l", _not_runnable,
+     applicable=_socket_multinode_only, kind="hybrid")
 _reg("hy_bcast", "shared_window", _not_runnable, kind="hybrid")

@@ -237,7 +237,9 @@ class MessageEngine:
         machine = self.machine
         net = machine.network
         if rec.intra:
-            if rec.eager:
+            if not machine.flat_intra:
+                yield from self._intra_sender_transport(rec)
+            elif rec.eager:
                 # CICO copy-in: latency hop + contended copy into staging.
                 # (memory_copy inlined: one copy = 2*nbytes through the
                 # node memory system.)
@@ -286,6 +288,56 @@ class MessageEngine:
                 )
                 rec.sender_done.succeed()
                 rec.arrived.succeed()
+
+    def _intra_sender_transport(self, rec: _SendRec):
+        """Sender half of an on-node message under the socket tier /
+        pluggable transports (any configuration other than flat
+        ``sockets=1`` + ``shm_two_copy``, which keeps the original
+        inline path in :meth:`_sender_process`).
+
+        Of the transport's ``eager_copies`` staged copies the sender
+        performs all but the last (the receiver's copy-out, charged in
+        :meth:`_deliver_process`).  Exactly one copy in the chain moves
+        the bytes between sockets when sender and receiver live on
+        different sockets: the first one.  Cross-socket copies are
+        charged entirely to the node's cross-socket link and add
+        ``xsocket_latency`` to the message latency.
+        """
+        eng = self.engine
+        machine = self.machine
+        node_spec = machine.spec.node
+        tp = machine.transport
+        src_sock = machine.socket_of(rec.src_world)
+        dst_sock = machine.socket_of(rec.dst_world)
+        cross = src_sock != dst_sock
+        latency = node_spec.shm_latency * tp.latency_scale
+        if cross:
+            latency += node_spec.xsocket_latency
+        if rec.eager:
+            yield eng.pause(latency)
+            for i in range(tp.eager_copies - 1):
+                if cross and i == 0:
+                    yield from machine.xsocket_copy(rec.node, rec.nbytes)
+                else:
+                    yield from machine.staged_copy(
+                        rec.node, src_sock, rec.nbytes
+                    )
+            rec.sender_done.succeed()
+            rec.arrived.succeed()
+        else:
+            # LMT: wait for the receive, then move the data directly
+            # into the receiver's buffer.
+            yield rec.matched
+            yield eng.pause(latency)
+            for i in range(tp.rdv_copies):
+                if cross and i == 0:
+                    yield from machine.xsocket_copy(rec.node, rec.nbytes)
+                else:
+                    yield from machine.staged_copy(
+                        rec.node, dst_sock, rec.nbytes
+                    )
+            rec.sender_done.succeed()
+            rec.arrived.succeed()
 
     # -- recv ------------------------------------------------------------
     def post_recv(
@@ -371,11 +423,35 @@ class MessageEngine:
         yield send.arrived
         machine = self.machine
         if send.intra and send.eager:
-            # CICO copy-out of the staged message, paid by the receiver
-            # (memory_copy inlined).
-            machine.intra_copies += 1
-            machine.intra_bytes += send.nbytes
-            yield machine._memory[send.dst_node].transfer(2.0 * send.nbytes)
+            if machine.flat_intra:
+                # CICO copy-out of the staged message, paid by the
+                # receiver (memory_copy inlined).
+                machine.intra_copies += 1
+                machine.intra_bytes += send.nbytes
+                yield machine._memory[send.dst_node].transfer(
+                    2.0 * send.nbytes
+                )
+            else:
+                # Receiver-side final staged copy under the socket tier
+                # / transport abstraction.  When the transport is
+                # single-copy this IS the data movement, so it crosses
+                # the socket link for cross-socket pairs; with two-copy
+                # CICO the copy-in already crossed and the copy-out is
+                # local to the receiver's socket.
+                tp = machine.transport
+                dst_sock = machine.socket_of(send.dst_world)
+                cross = (
+                    tp.eager_copies == 1
+                    and machine.socket_of(send.src_world) != dst_sock
+                )
+                if cross:
+                    yield from machine.xsocket_copy(
+                        send.dst_node, send.nbytes
+                    )
+                else:
+                    yield from machine.staged_copy(
+                        send.dst_node, dst_sock, send.nbytes
+                    )
         try:
             payload = copy_into(recv.buf, send.payload)
         except ValueError as exc:

@@ -110,7 +110,7 @@ class RmaWindow:
         ctx = self.comm.ctx
         target_node = self.comm.node_of(target)
         if target_node == ctx.node:
-            yield from ctx.machine.shared_touch(ctx.node, nbytes)
+            yield from ctx.machine.shared_touch(ctx.node, nbytes, ctx.socket)
             return
         net = ctx.machine.network
         if get:

@@ -88,6 +88,11 @@ class RankContext:
         return self.placement.node_of(self.world_rank)
 
     @property
+    def socket(self) -> int:
+        """Socket domain hosting this rank (0 on flat nodes)."""
+        return self.machine.socket_of(self.world_rank)
+
+    @property
     def now(self) -> float:
         """Current virtual time, seconds."""
         return self.engine.now
@@ -119,8 +124,11 @@ class RankContext:
         return self.compute(model.gemm_time(m, n, k))
 
     def touch(self, nbytes: float):
-        """Coroutine: stream *nbytes* through this node's memory system."""
-        result = yield from self.machine.shared_touch(self.node, nbytes)
+        """Coroutine: stream *nbytes* through this rank's memory system
+        (its socket's channel on multi-socket nodes)."""
+        result = yield from self.machine.shared_touch(
+            self.node, nbytes, self.socket
+        )
         return result
 
     # -- payload helpers ------------------------------------------------------

@@ -100,9 +100,13 @@ class SharedWindow:
     # -- cost-model hooks -----------------------------------------------------
     def touch(self, nbytes: int):
         """Coroutine: charge one pass over *nbytes* of the shared window
-        through the node's contended memory system."""
-        machine = self.comm.ctx.machine
-        result = yield from machine.shared_touch(self._shared.node, nbytes)
+        through the node's contended memory system (the toucher's
+        socket channel on multi-socket nodes)."""
+        ctx = self.comm.ctx
+        machine = ctx.machine
+        result = yield from machine.shared_touch(
+            self._shared.node, nbytes, machine.socket_of(ctx.world_rank)
+        )
         return result
 
     # -- flag store (light-weight sync substrate) ------------------------------

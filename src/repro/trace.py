@@ -201,7 +201,7 @@ def to_chrome_trace(trace: list[dict]) -> dict:
         args = {
             k: rec[k]
             for k in ("comm", "nbytes", "policy", "phase", "wait",
-                      "sid", "parent", "peer")
+                      "sid", "parent", "peer", "level")
             if k in rec
         }
         args.setdefault("kind", _kind(rec))

@@ -13,7 +13,7 @@ import functools
 from repro.analysis.model import CostModel, predict
 from repro.core import HybridContext
 from repro.machine.placement import Placement
-from repro.machine.presets import hazel_hen, vulcan
+from repro.machine.presets import hazel_hen, hazel_hen_2s, vulcan
 from repro.mpi import run_program
 from repro.mpi.collectives import registry
 from repro.mpi.collectives.registry import CollRequest, ForcedSelection
@@ -33,9 +33,23 @@ MINIS = {
     "fig7": ("hazel_hen", [8]),
     "fig9": ("hazel_hen", [4, 4, 4, 4]),
     "fig10": ("vulcan", [6, 6, 4]),
+    # Two-socket Hazel Hen variants, one per on-node transport, with the
+    # "balanced" slot→socket mapping so half of each node's ranks sit on
+    # the second socket (cross-socket traffic in every on-node stage).
+    "fig9_2s": ("hazel_hen_2s", [4, 4, 4, 4]),
+    "fig9_2s_cma": ("hazel_hen_2s_cma", [4, 4, 4, 4]),
+    "fig9_2s_pip": ("hazel_hen_2s_pip", [4, 4, 4, 4]),
 }
 
-_PRESETS = {"hazel_hen": hazel_hen, "vulcan": vulcan}
+_PRESETS = {
+    "hazel_hen": hazel_hen,
+    "vulcan": vulcan,
+    "hazel_hen_2s": hazel_hen_2s,
+    "hazel_hen_2s_cma": lambda n: hazel_hen_2s(
+        n, transport="cma_single_copy"
+    ),
+    "hazel_hen_2s_pip": lambda n: hazel_hen_2s(n, transport="pip_direct"),
+}
 
 #: Per-rank payload bytes: eager, mid, and rendezvous regime on both
 #: machines (eager thresholds 8 KiB / 12 KiB).
@@ -73,7 +87,10 @@ def spec_of(mini: str):
 
 
 def placement_of(mini: str) -> Placement:
-    return Placement.irregular(MINIS[mini][1])
+    placement = Placement.irregular(MINIS[mini][1])
+    if spec_of(mini).node.sockets > 1:
+        placement = placement.with_socket_mode("balanced")
+    return placement
 
 
 def _mpi_op(op: str, nbytes: int):
@@ -170,7 +187,8 @@ def _model_of(mini: str) -> CostModel:
     machine, counts = MINIS[mini]
     spec = spec_of(mini)
     return CostModel(spec, tuple(counts),
-                     topology=spec.build_topology())
+                     topology=spec.build_topology(),
+                     socket_mode=placement_of(mini).socket_mode)
 
 
 def measure_model(mini: str, op: str, algo: str, nbytes: int) -> float:

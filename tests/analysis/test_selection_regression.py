@@ -176,6 +176,141 @@ SNAPSHOT = {
     ("fig10", "hy_bcast", 8): "shared_window",
     ("fig10", "hy_bcast", 2048): "shared_window",
     ("fig10", "hy_bcast", 65536): "shared_window",
+    ("fig9_2s", "allgather", 8): "recursive_doubling",
+    ("fig9_2s", "allgather", 2048): "bruck",
+    ("fig9_2s", "allgather", 65536): "ring",
+    ("fig9_2s", "allgatherv", 8): "smp_hierarchical",
+    ("fig9_2s", "allgatherv", 2048): "bruck_v",
+    ("fig9_2s", "allgatherv", 65536): "ring_v",
+    ("fig9_2s", "bcast", 8): "binomial",
+    ("fig9_2s", "bcast", 2048): "smp_hierarchical",
+    ("fig9_2s", "bcast", 65536): "binomial",
+    ("fig9_2s", "gather", 8): "linear",
+    ("fig9_2s", "gather", 2048): "linear",
+    ("fig9_2s", "gather", 65536): "linear",
+    ("fig9_2s", "gatherv", 8): "linear",
+    ("fig9_2s", "gatherv", 2048): "linear",
+    ("fig9_2s", "gatherv", 65536): "linear",
+    ("fig9_2s", "scatter", 8): "linear",
+    ("fig9_2s", "scatter", 2048): "linear",
+    ("fig9_2s", "scatter", 65536): "linear",
+    ("fig9_2s", "reduce", 8): "binomial",
+    ("fig9_2s", "reduce", 2048): "binomial",
+    ("fig9_2s", "reduce", 65536): "binomial",
+    ("fig9_2s", "allreduce", 8): "recursive_doubling",
+    ("fig9_2s", "allreduce", 2048): "recursive_doubling",
+    ("fig9_2s", "allreduce", 65536): "rabenseifner",
+    ("fig9_2s", "reduce_scatter", 8): "recursive_halving",
+    ("fig9_2s", "reduce_scatter", 2048): "recursive_halving",
+    ("fig9_2s", "reduce_scatter", 65536): "recursive_halving",
+    ("fig9_2s", "scan", 8): "binomial",
+    ("fig9_2s", "scan", 2048): "binomial",
+    ("fig9_2s", "scan", 65536): "binomial",
+    ("fig9_2s", "exscan", 8): "binomial",
+    ("fig9_2s", "exscan", 2048): "binomial",
+    ("fig9_2s", "exscan", 65536): "binomial",
+    ("fig9_2s", "alltoall", 8): "bruck",
+    ("fig9_2s", "alltoall", 2048): "pairwise",
+    ("fig9_2s", "alltoall", 65536): "pairwise",
+    ("fig9_2s", "barrier", 8): "smp_hierarchical",
+    ("fig9_2s", "barrier", 2048): "smp_hierarchical",
+    ("fig9_2s", "barrier", 65536): "smp_hierarchical",
+    ("fig9_2s", "hy_allgather", 8): "shared_window",
+    ("fig9_2s", "hy_allgather", 2048): "shared_window_3l",
+    ("fig9_2s", "hy_allgather", 65536): "shared_window_3l",
+    ("fig9_2s", "hy_bcast", 8): "shared_window",
+    ("fig9_2s", "hy_bcast", 2048): "shared_window",
+    ("fig9_2s", "hy_bcast", 65536): "shared_window",
+    ("fig9_2s_cma", "allgather", 8): "recursive_doubling",
+    ("fig9_2s_cma", "allgather", 2048): "bruck",
+    ("fig9_2s_cma", "allgather", 65536): "ring",
+    ("fig9_2s_cma", "allgatherv", 8): "bruck_v",
+    ("fig9_2s_cma", "allgatherv", 2048): "bruck_v",
+    ("fig9_2s_cma", "allgatherv", 65536): "ring_v",
+    ("fig9_2s_cma", "bcast", 8): "binomial",
+    ("fig9_2s_cma", "bcast", 2048): "binomial",
+    ("fig9_2s_cma", "bcast", 65536): "scatter_allgather",
+    ("fig9_2s_cma", "gather", 8): "linear",
+    ("fig9_2s_cma", "gather", 2048): "linear",
+    ("fig9_2s_cma", "gather", 65536): "linear",
+    ("fig9_2s_cma", "gatherv", 8): "linear",
+    ("fig9_2s_cma", "gatherv", 2048): "linear",
+    ("fig9_2s_cma", "gatherv", 65536): "linear",
+    ("fig9_2s_cma", "scatter", 8): "linear",
+    ("fig9_2s_cma", "scatter", 2048): "linear",
+    ("fig9_2s_cma", "scatter", 65536): "linear",
+    ("fig9_2s_cma", "reduce", 8): "binomial",
+    ("fig9_2s_cma", "reduce", 2048): "binomial",
+    ("fig9_2s_cma", "reduce", 65536): "binomial",
+    ("fig9_2s_cma", "allreduce", 8): "recursive_doubling",
+    ("fig9_2s_cma", "allreduce", 2048): "recursive_doubling",
+    ("fig9_2s_cma", "allreduce", 65536): "rabenseifner",
+    ("fig9_2s_cma", "reduce_scatter", 8): "recursive_halving",
+    ("fig9_2s_cma", "reduce_scatter", 2048): "recursive_halving",
+    ("fig9_2s_cma", "reduce_scatter", 65536): "recursive_halving",
+    ("fig9_2s_cma", "scan", 8): "binomial",
+    ("fig9_2s_cma", "scan", 2048): "binomial",
+    ("fig9_2s_cma", "scan", 65536): "binomial",
+    ("fig9_2s_cma", "exscan", 8): "binomial",
+    ("fig9_2s_cma", "exscan", 2048): "binomial",
+    ("fig9_2s_cma", "exscan", 65536): "binomial",
+    ("fig9_2s_cma", "alltoall", 8): "bruck",
+    ("fig9_2s_cma", "alltoall", 2048): "pairwise",
+    ("fig9_2s_cma", "alltoall", 65536): "pairwise",
+    ("fig9_2s_cma", "barrier", 8): "smp_hierarchical",
+    ("fig9_2s_cma", "barrier", 2048): "smp_hierarchical",
+    ("fig9_2s_cma", "barrier", 65536): "smp_hierarchical",
+    ("fig9_2s_cma", "hy_allgather", 8): "shared_window",
+    ("fig9_2s_cma", "hy_allgather", 2048): "shared_window_3l",
+    ("fig9_2s_cma", "hy_allgather", 65536): "shared_window_3l",
+    ("fig9_2s_cma", "hy_bcast", 8): "shared_window",
+    ("fig9_2s_cma", "hy_bcast", 2048): "shared_window",
+    ("fig9_2s_cma", "hy_bcast", 65536): "shared_window",
+    ("fig9_2s_pip", "allgather", 8): "recursive_doubling",
+    ("fig9_2s_pip", "allgather", 2048): "recursive_doubling",
+    ("fig9_2s_pip", "allgather", 65536): "ring",
+    ("fig9_2s_pip", "allgatherv", 8): "smp_hierarchical",
+    ("fig9_2s_pip", "allgatherv", 2048): "bruck_v",
+    ("fig9_2s_pip", "allgatherv", 65536): "ring_v",
+    ("fig9_2s_pip", "bcast", 8): "binomial",
+    ("fig9_2s_pip", "bcast", 2048): "smp_hierarchical",
+    ("fig9_2s_pip", "bcast", 65536): "scatter_allgather",
+    ("fig9_2s_pip", "gather", 8): "linear",
+    ("fig9_2s_pip", "gather", 2048): "linear",
+    ("fig9_2s_pip", "gather", 65536): "linear",
+    ("fig9_2s_pip", "gatherv", 8): "linear",
+    ("fig9_2s_pip", "gatherv", 2048): "linear",
+    ("fig9_2s_pip", "gatherv", 65536): "linear",
+    ("fig9_2s_pip", "scatter", 8): "linear",
+    ("fig9_2s_pip", "scatter", 2048): "linear",
+    ("fig9_2s_pip", "scatter", 65536): "linear",
+    ("fig9_2s_pip", "reduce", 8): "binomial",
+    ("fig9_2s_pip", "reduce", 2048): "binomial",
+    ("fig9_2s_pip", "reduce", 65536): "binomial",
+    ("fig9_2s_pip", "allreduce", 8): "recursive_doubling",
+    ("fig9_2s_pip", "allreduce", 2048): "recursive_doubling",
+    ("fig9_2s_pip", "allreduce", 65536): "ring",
+    ("fig9_2s_pip", "reduce_scatter", 8): "recursive_halving",
+    ("fig9_2s_pip", "reduce_scatter", 2048): "recursive_halving",
+    ("fig9_2s_pip", "reduce_scatter", 65536): "recursive_halving",
+    ("fig9_2s_pip", "scan", 8): "binomial",
+    ("fig9_2s_pip", "scan", 2048): "binomial",
+    ("fig9_2s_pip", "scan", 65536): "binomial",
+    ("fig9_2s_pip", "exscan", 8): "binomial",
+    ("fig9_2s_pip", "exscan", 2048): "binomial",
+    ("fig9_2s_pip", "exscan", 65536): "binomial",
+    ("fig9_2s_pip", "alltoall", 8): "bruck",
+    ("fig9_2s_pip", "alltoall", 2048): "pairwise",
+    ("fig9_2s_pip", "alltoall", 65536): "pairwise",
+    ("fig9_2s_pip", "barrier", 8): "smp_hierarchical",
+    ("fig9_2s_pip", "barrier", 2048): "smp_hierarchical",
+    ("fig9_2s_pip", "barrier", 65536): "smp_hierarchical",
+    ("fig9_2s_pip", "hy_allgather", 8): "shared_window",
+    ("fig9_2s_pip", "hy_allgather", 2048): "shared_window_3l",
+    ("fig9_2s_pip", "hy_allgather", 65536): "shared_window_3l",
+    ("fig9_2s_pip", "hy_bcast", 8): "shared_window",
+    ("fig9_2s_pip", "hy_bcast", 2048): "shared_window",
+    ("fig9_2s_pip", "hy_bcast", 65536): "shared_window",
 }
 
 
