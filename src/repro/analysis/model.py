@@ -52,12 +52,20 @@ from repro.mpi.collectives.tuning import CollectiveTuning, tuning_for_machine
 
 __all__ = [
     "CostModel",
+    "MODEL_VERSION",
     "predict",
     "predict_comm",
     "model_for_comm",
     "crossover_points",
     "MODEL_FORMS",
 ]
+
+#: Version of the closed-form model's *predictions*.  Bump whenever a
+#: formula change alters any predicted latency — the content-addressed
+#: result cache (:mod:`repro.bench.sweep`) folds this into the cache key
+#: of every model-engine point, so cached predictions invalidate
+#: automatically when the formulas move.
+MODEL_VERSION = "7.0"
 
 
 # ---------------------------------------------------------------------------

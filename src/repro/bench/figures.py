@@ -26,19 +26,27 @@ from __future__ import annotations
 from typing import Any
 
 from repro.bench.harness import Figure
-from repro.bench.osu import (
-    hybrid_allgather_program,
-    osu_allgather_latency,
-)
+from repro.bench.osu import hybrid_allgather_program
 from repro.core.sync import BarrierSync, FlagSync
 from repro.machine.placement import Placement
-from repro.machine.presets import hazel_hen, vulcan
+from repro.machine.presets import hazel_hen
 from repro.mpi import run_program
 
 __all__ = ["FIGURES", "get_figure"]
 
 _US = 1.0e6
 _MS = 1.0e3
+
+
+def cached_latency_us(*args, **kwargs):
+    """Lazy alias of :func:`repro.bench.sweep.cached_latency_us` — the
+    allgather figures measure every point through the sweep layer (and
+    its ``$REPRO_SWEEP_CACHE`` cache).  Imported at call time so that
+    ``python -m repro.bench.sweep`` does not re-import this package's
+    eager figure registry."""
+    from repro.bench.sweep import cached_latency_us as measure
+
+    return measure(*args, **kwargs)
 
 #: The paper's message-size axis: 2^0 .. 2^15 doubles.
 _PAPER_SIZES = [2**k for k in range(0, 16, 2)] + [2**15]
@@ -60,14 +68,14 @@ def _fig7_sweep(mode: str) -> list[dict]:
 
 def _fig7_measure(point: dict, mode: str) -> dict:
     nbytes = point["elements"] * 8
-    placement = Placement.block(1, 24)
+    counts = (24,)
     out: dict[str, Any] = {}
-    for label, spec in (("cray", hazel_hen(1)), ("ompi", vulcan(1))):
-        out[f"hy_{label}_us"] = _US * osu_allgather_latency(
-            spec, placement, nbytes, "hybrid"
+    for label, machine in (("cray", "hazel_hen"), ("ompi", "vulcan")):
+        out[f"hy_{label}_us"] = cached_latency_us(
+            machine, counts, nbytes, "hybrid"
         )
-        out[f"allgather_{label}_us"] = _US * osu_allgather_latency(
-            spec, placement, nbytes, "pure"
+        out[f"allgather_{label}_us"] = cached_latency_us(
+            machine, counts, nbytes, "pure"
         )
     return out
 
@@ -81,18 +89,17 @@ def _fig8_sweep(mode: str) -> list[dict]:
     return [{"elements": n} for n in _dedup(sizes)]
 
 
-def _fig8_measure(spec_factory, point: dict, mode: str) -> dict:
+def _fig8_measure(machine: str, point: dict, mode: str) -> dict:
     nbytes = point["elements"] * 8
     node_counts = (4, 16, 64) if mode == "paper" else (4, 16)
     out: dict[str, Any] = {}
     for nodes in node_counts:
-        placement = Placement.irregular([1] * nodes)
-        spec = spec_factory(nodes)
-        out[f"hy_{nodes}_us"] = _US * osu_allgather_latency(
-            spec, placement, nbytes, "hybrid"
+        counts = (1,) * nodes
+        out[f"hy_{nodes}_us"] = cached_latency_us(
+            machine, counts, nbytes, "hybrid"
         )
-        out[f"allgather_{nodes}_us"] = _US * osu_allgather_latency(
-            spec, placement, nbytes, "pure"
+        out[f"allgather_{nodes}_us"] = cached_latency_us(
+            machine, counts, nbytes, "pure"
         )
     return out
 
@@ -109,14 +116,11 @@ def _fig9_sweep(mode: str) -> list[dict]:
 def _fig9_measure(elements: int, point: dict, mode: str) -> dict:
     nodes = 64 if mode == "paper" else 16
     nbytes = elements * 8
-    placement = Placement.block(nodes, point["ppn"])
+    counts = (point["ppn"],) * nodes
     out: dict[str, Any] = {"nodes": nodes}
-    for label, spec in (
-        ("cray", hazel_hen(nodes)),
-        ("ompi", vulcan(nodes)),
-    ):
-        hy = _US * osu_allgather_latency(spec, placement, nbytes, "hybrid")
-        pure = _US * osu_allgather_latency(spec, placement, nbytes, "pure")
+    for label, machine in (("cray", "hazel_hen"), ("ompi", "vulcan")):
+        hy = cached_latency_us(machine, counts, nbytes, "hybrid")
+        pure = cached_latency_us(machine, counts, nbytes, "pure")
         out[f"hy_{label}_us"] = hy
         out[f"allgather_{label}_us"] = pure
         out[f"ratio_{label}"] = pure / hy
@@ -135,15 +139,13 @@ def _fig10_sweep(mode: str) -> list[dict]:
 def _fig10_measure(point: dict, mode: str) -> dict:
     # Paper: 24 ranks on 42 nodes plus 16 on one more (1024 ranks).
     counts = [24] * 42 + [16] if mode == "paper" else [24] * 6 + [16]
-    placement = Placement.irregular(counts)
     nbytes = point["elements"] * 8
-    out: dict[str, Any] = {"ranks": placement.num_ranks}
-    for label, factory in (("cray", hazel_hen), ("ompi", vulcan)):
-        spec = factory(len(counts))
-        hy = _US * osu_allgather_latency(spec, placement, nbytes, "hybrid")
-        pure = _US * osu_allgather_latency(
-            spec, placement, nbytes, "pure", irregular=True
-        )
+    out: dict[str, Any] = {"ranks": sum(counts)}
+    for label, machine in (("cray", "hazel_hen"), ("ompi", "vulcan")):
+        # The irregular population routes the pure variant to
+        # allgatherv automatically (SweepPoint.is_irregular).
+        hy = cached_latency_us(machine, counts, nbytes, "hybrid")
+        pure = cached_latency_us(machine, counts, nbytes, "pure")
         out[f"hy_{label}_us"] = hy
         out[f"allgatherv_{label}_us"] = pure
         out[f"ratio_{label}"] = pure / hy
@@ -286,8 +288,8 @@ def _abl_placement_measure(point: dict, mode: str) -> dict:
     nbytes = point["elements"] * 8
     rr = Placement.round_robin(nodes, ppn)
     out: dict[str, Any] = {}
-    out["smp_us"] = _US * osu_allgather_latency(
-        spec, Placement.block(nodes, ppn), nbytes, "hybrid"
+    out["smp_us"] = cached_latency_us(
+        "hazel_hen", (ppn,) * nodes, nbytes, "hybrid"
     )
     # Round-robin placement, remedy 2 (§6): node-sorted rank array —
     # the default layout, no packing needed.
@@ -379,11 +381,10 @@ def _ext_weak_scaling_measure(point: dict, mode: str) -> dict:
     """Weak scaling (beyond the paper): fixed 1024 doubles *per rank*,
     growing node count at 24 ranks/node."""
     nodes = point["nodes"]
-    placement = Placement.block(nodes, 24)
-    spec = hazel_hen(nodes)
+    counts = (24,) * nodes
     nbytes = 1024 * 8
-    hy = _US * osu_allgather_latency(spec, placement, nbytes, "hybrid")
-    pure = _US * osu_allgather_latency(spec, placement, nbytes, "pure")
+    hy = cached_latency_us("hazel_hen", counts, nbytes, "hybrid")
+    pure = cached_latency_us("hazel_hen", counts, nbytes, "pure")
     return {
         "ranks": nodes * 24,
         "hy_us": hy,
@@ -396,12 +397,11 @@ def _ext_strong_scaling_measure(point: dict, mode: str) -> dict:
     """Strong scaling (beyond the paper): fixed 3 MB *total* result,
     growing node count at 24 ranks/node."""
     nodes = point["nodes"]
-    placement = Placement.block(nodes, 24)
-    spec = hazel_hen(nodes)
+    counts = (24,) * nodes
     total = 3 * 1024 * 1024
     nbytes = max(8, total // (nodes * 24))
-    hy = _US * osu_allgather_latency(spec, placement, nbytes, "hybrid")
-    pure = _US * osu_allgather_latency(spec, placement, nbytes, "pure")
+    hy = cached_latency_us("hazel_hen", counts, nbytes, "hybrid")
+    pure = cached_latency_us("hazel_hen", counts, nbytes, "pure")
     return {
         "ranks": nodes * 24,
         "per_rank_kb": nbytes / 1024,
@@ -437,28 +437,25 @@ def _ext_transport_measure(point: dict, mode: str) -> dict:
     it wins once node blocks are bandwidth-bound and loses at small
     sizes to its extra leader-completion round.
     """
-    from repro.machine.presets import hazel_hen_2s
     from repro.machine.transport import TRANSPORTS
-    from repro.mpi.collectives.registry import ForcedSelection
 
     nodes, ppn = 4, 24
-    placement = Placement.block(nodes, ppn)
+    counts = (ppn,) * nodes
     nbytes = point["elements"] * 8
     out: dict[str, Any] = {
-        "flat_us": _US * osu_allgather_latency(
-            hazel_hen(nodes), placement, nbytes, "hybrid"
-        ),
+        "flat_us": cached_latency_us("hazel_hen", counts, nbytes, "hybrid"),
     }
     for transport in sorted(TRANSPORTS):
         key = _TRANSPORT_KEYS[transport]
-        spec = hazel_hen_2s(nodes, transport=transport)
         for algo, suffix in (
             ("shared_window", "2l"),
             ("shared_window_3l", "3l"),
         ):
-            out[f"{key}_{suffix}_us"] = _US * osu_allgather_latency(
-                spec, placement, nbytes, "hybrid",
-                policy=ForcedSelection({"hy_allgather": algo}),
+            # algo forces the bridge exchange via ForcedSelection
+            # inside the sweep point runner.
+            out[f"{key}_{suffix}_us"] = cached_latency_us(
+                "hazel_hen_2s", counts, nbytes, "hybrid",
+                algo=algo, transport=transport,
             )
     out["shm_3l_speedup"] = out["shm_2l_us"] / out["shm_3l_us"]
     return out
@@ -478,7 +475,8 @@ def _abl_multileader_measure(point: dict, mode: str) -> dict:
             program_kwargs={"nbytes_per_rank": nbytes, "leaders": leaders},
         )
         out[f"leaders{leaders}_us"] = _US * max(result.returns)
-    out["hy_us"] = _US * osu_allgather_latency(spec, placement, nbytes, "hybrid")
+    out["hy_us"] = cached_latency_us("hazel_hen", (ppn,) * nodes, nbytes,
+                                     "hybrid")
     return out
 
 
@@ -513,14 +511,14 @@ FIGURES: dict[str, Figure] = {
         "Hy_Allgather (MPI_Allgatherv) is slightly slower than pure "
         "MPI_Allgather; the gap shrinks at larger node counts/messages.",
         _fig8_sweep,
-        lambda p, m: _fig8_measure(vulcan, p, m),
+        lambda p, m: _fig8_measure("vulcan", p, m),
     ),
     "fig8b": _figure(
         "fig8b",
         "Fig 8b — one rank per node, Cray MPI on Hazel Hen (latency, us)",
         "Same shape as Fig 8a under the Cray personality.",
         _fig8_sweep,
-        lambda p, m: _fig8_measure(hazel_hen, p, m),
+        lambda p, m: _fig8_measure("hazel_hen", p, m),
     ),
     "fig9a": _figure(
         "fig9a",

@@ -36,12 +36,14 @@ import time
 from typing import Any
 
 from repro.analysis.model import CostModel, crossover_points
+from repro.bench import sweep as sweeplib
 from repro.machine.presets import hazel_hen, hazel_hen_2s, vulcan
 from repro.machine.transport import TRANSPORTS
 from repro.mpi.collectives.tuning import tuning_for_machine
 
-__all__ = ["model_best", "sweep_config", "run_sweep", "run_report",
-           "run_transports", "main"]
+__all__ = ["model_best", "pure_candidates", "hybrid_candidates",
+           "sweep_config", "run_sweep", "run_report", "run_transports",
+           "main"]
 
 #: Message sizes swept (bytes per rank), eager through pipeline regime.
 SWEEP_SIZES = tuple(8 * (1 << k) for k in range(0, 15))  # 8 B .. 128 KiB
@@ -57,19 +59,49 @@ def _fig10_counts(nranks: int, ppn: int = 24) -> list[int]:
     return [ppn] * full + ([rem] if rem else [])
 
 
+def _priced(model: CostModel, op: str, algo: str, nbytes: int,
+            cache: "sweeplib.ResultCache | None", *,
+            machine: str, counts, variant: str,
+            socket_mode: str = "compact",
+            transport: str | None = None) -> float:
+    """One candidate's model latency (seconds) — straight from the
+    model when *cache* is ``None``, else through the sweep cache as a
+    content-addressed ``engine="model"`` point (so re-running a sweep
+    against the same cache answers every candidate without pricing)."""
+    if cache is None:
+        return model.predict(op, algo, nbytes)
+    point = sweeplib.SweepPoint(
+        machine=machine, counts=tuple(counts), nbytes=int(nbytes),
+        variant=variant, engine="model", op=op, algo=algo,
+        transport=transport, socket_mode=socket_mode,
+    )
+    record, _source = sweeplib.evaluate(point, cache)
+    return record["latency_s"]
+
+
 def model_best(model: CostModel, op: str, nbytes: float,
-               candidates: list[str]) -> tuple[str, float]:
-    """(algo, seconds) minimizing the model over *candidates*."""
+               candidates: list[str],
+               cache: "sweeplib.ResultCache | None" = None,
+               **point_kwargs) -> tuple[str, float]:
+    """(algo, seconds) minimizing the model over *candidates*.
+
+    With *cache* set, every candidate is priced through the sweep
+    cache; *point_kwargs* (machine, counts, variant, ...) identify the
+    configuration for the cache key.
+    """
     best = None
     for name in candidates:
-        t = model.predict(op, name, nbytes)
+        if cache is None:
+            t = model.predict(op, name, nbytes)
+        else:
+            t = _priced(model, op, name, nbytes, cache, **point_kwargs)
         if best is None or t < best[1]:
             best = (name, t)
     assert best is not None
     return best
 
 
-def _pure_candidates(model: CostModel, irregular: bool) -> list[str]:
+def pure_candidates(model: CostModel, irregular: bool) -> list[str]:
     """Structurally-applicable pure-MPI allgather(v) algorithms."""
     hier = model.N > 1 and model.q > 1
     if irregular:
@@ -85,7 +117,8 @@ def _pure_candidates(model: CostModel, irregular: bool) -> list[str]:
     return cands
 
 
-def _hybrid_candidates(model: CostModel) -> list[str]:
+def hybrid_candidates(model: CostModel) -> list[str]:
+    """Structurally-applicable hybrid (Hy_Allgather) algorithms."""
     cands = ["shared_window"]
     if model.N > 1:
         cands.append("pipelined_ring")
@@ -121,9 +154,13 @@ def sweep_config(nranks: int, machine: str = "hazel_hen"):
 
 
 def run_sweep(ranks=SWEEP_RANKS, sizes=SWEEP_SIZES,
-              machine: str = "hazel_hen") -> dict[str, Any]:
+              machine: str = "hazel_hen",
+              cache: "sweeplib.ResultCache | None" = None
+              ) -> dict[str, Any]:
     """Crossover maps: per rank count, hybrid-vs-pure latency per size
-    and the message sizes where the curves cross."""
+    and the message sizes where the curves cross.  With *cache* set,
+    every candidate latency goes through the content-addressed sweep
+    cache (``engine="model"`` points)."""
     t0 = time.perf_counter()
     out: dict[str, Any] = {"machine": machine, "maps": {}}
     for nranks in ranks:
@@ -136,9 +173,13 @@ def run_sweep(ranks=SWEEP_RANKS, sizes=SWEEP_SIZES,
         pure_lat, hy_lat = [], []
         for nbytes in sizes:
             pure = model_best(model, op, nbytes,
-                              _pure_candidates(model, irregular))
+                              pure_candidates(model, irregular),
+                              cache=cache, machine=machine,
+                              counts=counts, variant="pure")
             hy = model_best(model, "hy_allgather", nbytes,
-                            _hybrid_candidates(model))
+                            hybrid_candidates(model),
+                            cache=cache, machine=machine,
+                            counts=counts, variant="hybrid")
             pure_lat.append(pure[1])
             hy_lat.append(hy[1])
             rows.append({
@@ -220,7 +261,9 @@ def run_report(bench_dir: str = ".",
 
 
 def run_transports(sizes=SWEEP_SIZES, nodes: int = 4, ppn: int = 24,
-                   socket_mode: str = "compact") -> dict[str, Any]:
+                   socket_mode: str = "compact",
+                   cache: "sweeplib.ResultCache | None" = None
+                   ) -> dict[str, Any]:
     """Two- vs three-level Hy_Allgather crossover on the 2-socket
     preset, per registered on-node transport, priced by the model.
 
@@ -241,16 +284,22 @@ def run_transports(sizes=SWEEP_SIZES, nodes: int = 4, ppn: int = 24,
         model = CostModel(spec, counts, socket_mode=socket_mode)
         rows = []
         t2, t3 = [], []
+        kwargs = dict(machine="hazel_hen_2s", counts=counts,
+                      variant="hybrid", socket_mode=socket_mode,
+                      transport=transport)
         for nbytes in sizes:
-            two = model.predict("hy_allgather", "shared_window", nbytes)
-            three = model.predict("hy_allgather", "shared_window_3l",
-                                  nbytes)
+            two = _priced(model, "hy_allgather", "shared_window",
+                          nbytes, cache, **kwargs)
+            three = _priced(model, "hy_allgather", "shared_window_3l",
+                            nbytes, cache, **kwargs)
             t2.append(two)
             t3.append(three)
             rows.append({
                 "nbytes": nbytes,
-                "flat_s": flat_model.predict(
-                    "hy_allgather", "shared_window", nbytes),
+                "flat_s": _priced(
+                    flat_model, "hy_allgather", "shared_window", nbytes,
+                    cache, machine="hazel_hen", counts=counts,
+                    variant="hybrid"),
                 "two_level_s": two,
                 "three_level_s": three,
                 "speedup": two / three,
@@ -332,18 +381,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory holding BENCH_<label>.json")
     parser.add_argument("--out", default=None,
                         help="write the combined JSON document here")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="answer candidate latencies through the "
+                             "content-addressed sweep cache in DIR")
     args = parser.parse_args(argv)
 
+    cache = sweeplib.ResultCache(args.cache) if args.cache else None
     doc: dict[str, Any] = {}
     if args.command in ("sweep", "all"):
         ranks = tuple(args.ranks) if args.ranks else SWEEP_RANKS
-        doc["sweep"] = run_sweep(ranks=ranks, machine=args.machine)
+        doc["sweep"] = run_sweep(ranks=ranks, machine=args.machine,
+                                 cache=cache)
         _print_sweep(doc["sweep"])
     if args.command in ("report", "all"):
         doc["report"] = run_report(bench_dir=args.bench_dir)
         _print_report(doc["report"])
     if args.command in ("transports", "all"):
-        doc["transports"] = run_transports()
+        doc["transports"] = run_transports(cache=cache)
         _print_transports(doc["transports"])
     if args.out:
         with open(args.out, "w") as fh:

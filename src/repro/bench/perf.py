@@ -27,13 +27,10 @@ import argparse
 import json
 import os
 import sys
-import time
-from typing import Any, Iterator
+from dataclasses import replace
+from typing import Any
 
-from repro.bench.osu import hybrid_allgather_program, pure_allgather_program
-from repro.machine.placement import Placement
-from repro.machine.presets import hazel_hen
-from repro.mpi import run_program
+from repro.bench import sweep as sweeplib
 
 __all__ = ["PERF_LABELS", "perf_points", "measure_point", "run_perf",
            "write_bench", "check_gate", "main"]
@@ -97,78 +94,46 @@ def _baseline_key(label: str, quick: bool) -> str:
     return f"{label}-{'quick' if quick else 'full'}"
 
 
-def perf_points(label: str, quick: bool = False) -> Iterator[tuple]:
-    """Yield ``(name, spec, placement, nbytes, variant, options)`` for
-    every measured point of *label* (one of :data:`PERF_LABELS`)."""
-    if label == "fig7":
-        # Fig 7: one full Hazel Hen node, 24 ranks.
-        spec = hazel_hen(1)
-        placement = Placement.block(1, 24)
-        for elements in (1, 1024, 16384):
-            for variant in ("hybrid", "pure"):
-                yield (f"n1x24/{elements}el/{variant}", spec, placement,
-                       elements * 8, variant, {})
-    elif label == "fig9":
-        # Fig 9: ppn sweep at fixed node count, 512 elements/rank.
-        nodes = 4 if quick else 16
-        spec = hazel_hen(nodes)
-        for ppn in (3, 12, 24):
-            placement = Placement.block(nodes, ppn)
-            for variant in ("hybrid", "pure"):
-                yield (f"n{nodes}x{ppn}/512el/{variant}", spec, placement,
-                       512 * 8, variant, {})
-    elif label == "fig10":
-        # Fig 10: irregular population (paper: 42x24 + 1x16 = 1024 ranks).
-        counts = [24] * 6 + [16] if quick else [24] * 42 + [16]
-        spec = hazel_hen(len(counts))
-        placement = Placement.irregular(counts)
-        ranks = sum(counts)
-        for elements in (1, 1024, 16384):
-            for variant in ("hybrid", "pure"):
-                opts = {"irregular": True} if variant == "pure" else {}
-                yield (f"r{ranks}/{elements}el/{variant}", spec, placement,
-                       elements * 8, variant, opts)
-    else:
-        raise ValueError(
-            f"unknown perf label {label!r}; known: {', '.join(PERF_LABELS)}"
-        )
+def perf_points(label: str,
+                quick: bool = False) -> list[tuple[str, Any]]:
+    """``(name, SweepPoint)`` for every measured point of *label* —
+    a thin alias of :func:`repro.bench.sweep.figure_points`, the single
+    source of truth for the canonical figure grids."""
+    return sweeplib.figure_points(label, quick)
 
 
-def measure_point(
-    spec, placement, nbytes: int, variant: str, options: dict,
-    payload: str = "cost-only", fast_path: bool = True,
-) -> dict[str, Any]:
-    """Run one point and return wall/event/latency measurements."""
-    program = (hybrid_allgather_program if variant == "hybrid"
-               else pure_allgather_program)
-    t0 = time.perf_counter()
-    result = run_program(
-        spec, None, program,
-        placement=placement,
-        payload=payload,
-        fast_path=fast_path,
-        program_kwargs={"nbytes_per_rank": nbytes, **options},
-    )
-    wall = time.perf_counter() - t0
-    return {
-        "wall_s": round(wall, 4),
-        "events": result.events_processed,
-        "latency_us": max(result.returns) * 1e6,
-        "events_per_s": round(result.events_processed / wall, 1),
-    }
+def measure_point(point, payload: str = "cost-only",
+                  fast_path: bool = True) -> dict[str, Any]:
+    """Run one :class:`~repro.bench.sweep.SweepPoint` fresh and return
+    its wall/event/latency record (BENCH field subset)."""
+    point = replace(point, payload=payload, fast_path=fast_path)
+    rec = sweeplib.run_point(point)
+    return {k: rec[k] for k in
+            ("wall_s", "events", "latency_us", "events_per_s")}
 
 
 def run_perf(label: str, quick: bool = False, payload: str = "cost-only",
-             fast_path: bool = True, progress: bool = True) -> dict[str, Any]:
-    """Measure every point of *label*; returns the BENCH document."""
+             fast_path: bool = True, progress: bool = True,
+             cache: "sweeplib.ResultCache | None" = None) -> dict[str, Any]:
+    """Measure every point of *label*; returns the BENCH document.
+
+    The harness *always computes* — it exists to wall-clock the
+    simulator, and a cached wall-clock would be a lie — but with
+    *cache* set it stores every fresh result into the shared sweep
+    cache, so a ``repro-perf`` run doubles as a cache warmer for
+    ``repro-sweep``/the query service.
+    """
     baseline = BASELINE.get(_baseline_key(label, quick), {})
     points: dict[str, Any] = {}
     total_wall = 0.0
     total_events = 0
-    for name, spec, placement, nbytes, variant, opts in \
-            perf_points(label, quick):
-        rec = measure_point(spec, placement, nbytes, variant, opts,
-                            payload=payload, fast_path=fast_path)
+    for name, point in perf_points(label, quick):
+        sweep_point = replace(point, payload=payload, fast_path=fast_path)
+        full = sweeplib.run_point(sweep_point)
+        if cache is not None:
+            sweeplib.store_record(cache, sweep_point, full)
+        rec = {k: full[k] for k in
+               ("wall_s", "events", "latency_us", "events_per_s")}
         before = baseline.get(name)
         if before:
             rec["before_wall_s"] = before["wall_s"]
@@ -285,10 +250,18 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed events/s slowdown before --gate fails (default: 2)",
     )
     parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help=(
+            "also store every fresh result into the content-addressed "
+            "sweep cache in DIR (repro-sweep/service reads it back)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress"
     )
     args = parser.parse_args(argv)
     labels = args.label or list(PERF_LABELS)
+    cache = sweeplib.ResultCache(args.cache) if args.cache else None
     failures = []
     for label in labels:
         if not args.quiet:
@@ -297,6 +270,7 @@ def main(argv: list[str] | None = None) -> int:
         doc = run_perf(
             label, quick=args.quick, payload=args.payload,
             fast_path=not args.legacy_path, progress=not args.quiet,
+            cache=cache,
         )
         summary = f"{label}: {doc['total_wall_s']}s, {doc['events_per_s']:.0f} events/s"
         if "speedup" in doc:

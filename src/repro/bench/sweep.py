@@ -1,0 +1,1067 @@
+"""Sharded sweep orchestrator with a content-addressed result cache
+(``repro-sweep``).
+
+A *sweep* is a grid of independent measurement points — (machine, rank
+population, message size, variant, algorithm, on-node transport) tuples
+— answered either by the discrete-event simulator (``engine="sim"``) or
+by the closed-form analytic model (``engine="model"``).  Both engines
+are deterministic: the same point always produces the same latency, so
+every answer is cacheable forever *as long as nothing it depends on
+changed*.  This module provides the three pieces that exploit that:
+
+* :class:`SweepPoint` / :func:`expand_spec` — the declarative point and
+  the spec format that expands into a grid of them;
+* :class:`ResultCache` — a content-addressed on-disk store keyed by
+  :func:`cache_key`, a stable hash over the *resolved* machine spec
+  (every hardware constant, sockets and transport included), the full
+  point description, and the engine/model version — so cache entries
+  invalidate automatically when any hash input changes;
+* :func:`run_sweep` — the orchestrator: answers what it can from cache,
+  shards the misses across worker processes
+  (:class:`concurrent.futures.ProcessPoolExecutor`, chunked), applies a
+  per-point timeout with bounded retry, and returns a report with
+  per-point records, structured failure records, and cache hit/miss
+  counters (renderable via :func:`repro.metrics.sweep_metrics`).
+
+``bench/figures.py`` (Fig 7/9/10 + scaling/transport extensions),
+``bench/perf.py`` (the tracked wall-clock harness and the committed
+``BENCH_*.json``) and ``bench/model.py`` (the analytic sweeps) all
+execute their points through this module, so they share one cache
+format and one execution path.  The JSON-over-HTTP service mode lives
+in :mod:`repro.bench.service`; the user guide is ``docs/sweeps.md``.
+
+Determinism guarantee: the simulator's virtual-time results are
+independent of wall-clock, scheduling, and process boundaries, so a
+sweep run with ``workers=8`` is bit-identical (latencies, event counts)
+to the same sweep run serially — asserted by
+``tests/bench/test_sweep.py``.
+
+Usage::
+
+    repro-sweep run --figure fig10 --cache .sweep-cache --workers 4
+    repro-sweep run --spec sweep.json --cache .sweep-cache
+    repro-sweep query --machine hazel_hen --nodes 4 --ppn 24 --elements 512
+    repro-sweep stats --cache .sweep-cache
+    repro-sweep gc --cache .sweep-cache --older-than 604800
+    repro-sweep serve --cache .sweep-cache --port 8351
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import itertools
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.model import MODEL_VERSION, CostModel
+from repro.machine.model import MachineSpec
+from repro.machine.placement import Placement
+from repro.machine import presets as _presets
+from repro.simulator import ENGINE_VERSION
+
+__all__ = [
+    "MACHINES",
+    "SweepPoint",
+    "ResultCache",
+    "cache_key",
+    "point_name",
+    "point_seed",
+    "expand_spec",
+    "figure_points",
+    "run_point",
+    "evaluate",
+    "store_record",
+    "run_sweep",
+    "check_against_bench",
+    "default_cache",
+    "cached_latency_us",
+    "main",
+]
+
+#: Machine presets addressable from a sweep spec, by name.  Each maps
+#: ``name -> factory(num_nodes)``; a point's ``transport`` field (if
+#: set) overrides the node transport of whatever the factory built.
+MACHINES = {
+    "hazel_hen": _presets.hazel_hen,
+    "hazel_hen_flat": _presets.hazel_hen_flat,
+    "hazel_hen_2s": _presets.hazel_hen_2s,
+    "vulcan": _presets.vulcan,
+    "testing": _presets.testing_machine,
+}
+
+#: Environment variable naming a cache directory that the figure
+#: harness (`bench/figures.py`) transparently reads/writes through
+#: :func:`default_cache`.
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+#: Test hook: when set (seconds, float), :func:`run_point` sleeps that
+#: long before executing — used by the timeout/retry tests to make a
+#: point predictably slow.  Never set this outside tests.
+TEST_DELAY_ENV = "REPRO_SWEEP_TEST_DELAY"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent measurement point of a sweep.
+
+    Attributes
+    ----------
+    machine:
+        Preset name (a key of :data:`MACHINES`).
+    counts:
+        Per-node rank counts in block order (``Placement.irregular``
+        semantics); ``(24, 24, 16)`` is two full nodes plus one
+        16-rank straggler.
+    nbytes:
+        Per-rank payload bytes.
+    variant:
+        ``"hybrid"`` (the paper's Hy_Allgather) or ``"pure"``
+        (tuned pure-MPI allgather/allgatherv).
+    engine:
+        ``"sim"`` (discrete-event simulator) or ``"model"``
+        (closed-form analytic model).
+    op / algo:
+        Explicit operation / algorithm.  For ``engine="sim"`` a set
+        ``algo`` is forced through ``ForcedSelection``; for
+        ``engine="model"`` both default from the variant
+        (``hy_allgather/shared_window`` for hybrid) but a pure-variant
+        model point must name its algorithm explicitly.
+    transport:
+        On-node transport override (``None`` keeps the preset's).
+    socket_mode:
+        Slot→socket mapping for multi-socket nodes
+        (``compact``/``scatter``/``balanced``).
+    payload / fast_path:
+        Simulator execution mode knobs (virtual-time results are
+        independent of both; they are still part of the cache key).
+
+    >>> p = SweepPoint(machine="testing", counts=(2, 2), nbytes=64)
+    >>> p.is_irregular
+    False
+    >>> SweepPoint(machine="testing", counts=(4, 2), nbytes=8).is_irregular
+    True
+    >>> p == SweepPoint.from_dict(p.to_dict())
+    True
+    """
+
+    machine: str = "hazel_hen"
+    counts: tuple = (24,)
+    nbytes: int = 8
+    variant: str = "hybrid"
+    engine: str = "sim"
+    op: str | None = None
+    algo: str | None = None
+    transport: str | None = None
+    socket_mode: str = "compact"
+    payload: str = "cost-only"
+    fast_path: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
+        if self.machine not in MACHINES:
+            raise ValueError(
+                f"unknown machine {self.machine!r}; "
+                f"known: {', '.join(sorted(MACHINES))}"
+            )
+        if self.variant not in ("hybrid", "pure"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        if self.engine not in ("sim", "model"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if not self.counts or min(self.counts) < 1:
+            raise ValueError("counts must be non-empty positive ints")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+    # -- derived views ---------------------------------------------------
+    @property
+    def is_irregular(self) -> bool:
+        """True when nodes carry unequal rank counts (→ allgatherv)."""
+        return len(set(self.counts)) > 1
+
+    @property
+    def resolved_op(self) -> str:
+        """The collective this point measures (explicit or derived)."""
+        if self.op:
+            return self.op
+        if self.variant == "hybrid":
+            return "hy_allgather"
+        return "allgatherv" if self.is_irregular else "allgather"
+
+    def spec(self) -> MachineSpec:
+        """The resolved :class:`~repro.machine.model.MachineSpec`."""
+        built = MACHINES[self.machine](len(self.counts))
+        if self.transport and self.transport != built.node.transport:
+            built = replace(
+                built, node=replace(built.node, transport=self.transport)
+            )
+        return built
+
+    def placement(self) -> Placement:
+        """The rank→node (and slot→socket) map of this point."""
+        pl = Placement.irregular(list(self.counts))
+        if self.socket_mode != "compact":
+            pl = pl.with_socket_mode(self.socket_mode)
+        return pl
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON form (round-trips via :meth:`from_dict`)."""
+        return {
+            f.name: (list(v) if isinstance(v := getattr(self, f.name), tuple)
+                     else v)
+            for f in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SweepPoint":
+        """Rebuild a point from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown point field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**doc)
+
+
+def point_name(point: SweepPoint) -> str:
+    """Stable human-readable point id, matching the committed
+    ``BENCH_*.json`` key scheme for the canonical figure configs.
+
+    Uniform populations render as ``n<nodes>x<ppn>``, irregular ones as
+    ``r<ranks>``; message sizes as ``<n>el`` (8-byte elements) when the
+    byte count divides evenly, else ``<n>B``.  Non-default axes
+    (algorithm, transport, socket mode, model engine) append suffixes
+    so grid points never collide.
+
+    >>> point_name(SweepPoint(machine="hazel_hen", counts=(24,) * 4,
+    ...                       nbytes=4096, variant="pure"))
+    'n4x24/512el/pure'
+    >>> point_name(SweepPoint(machine="hazel_hen", counts=(24, 16),
+    ...                       nbytes=12, variant="hybrid", engine="model",
+    ...                       algo="shared_window"))
+    'r40/12B/hybrid/shared_window/model'
+    """
+    if point.is_irregular:
+        shape = f"r{sum(point.counts)}"
+    else:
+        shape = f"n{len(point.counts)}x{point.counts[0]}"
+    if point.nbytes % 8 == 0 and point.nbytes > 0:
+        size = f"{point.nbytes // 8}el"
+    else:
+        size = f"{point.nbytes}B"
+    name = f"{shape}/{size}/{point.variant}"
+    if point.algo:
+        name += f"/{point.algo}"
+    if point.transport:
+        name += f"/{point.transport}"
+    if point.socket_mode != "compact":
+        name += f"/{point.socket_mode}"
+    if point.engine != "sim":
+        name += f"/{point.engine}"
+    return name
+
+
+def _canonical(doc: dict) -> bytes:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+
+def point_seed(point: SweepPoint) -> int:
+    """Deterministic 32-bit seed derived from the point content alone
+    (no version inputs, so a seed survives engine upgrades).  Forwarded
+    to stochastic extensions (noise models); the baseline simulator is
+    deterministic and ignores it.
+
+    >>> a = point_seed(SweepPoint(machine="testing", counts=(2,), nbytes=8))
+    >>> a == point_seed(SweepPoint(machine="testing", counts=(2,), nbytes=8))
+    True
+    >>> 0 <= a < 2 ** 32
+    True
+    """
+    digest = hashlib.sha256(_canonical(point.to_dict())).hexdigest()
+    return int(digest[:8], 16)
+
+
+def cache_key(point: SweepPoint) -> str:
+    """Content address of a point's result: SHA-256 over the resolved
+    machine description (every hardware constant, sockets/transport
+    included), the topology kind, the full point description, the OSU
+    repetition settings, and the executing engine's version.
+
+    Any change to any input — a preset recalibration, a different
+    transport, an engine bump — changes the key, so stale cache entries
+    are simply never addressed again (see docs/sweeps.md for the
+    invalidation rules).
+
+    >>> p = SweepPoint(machine="testing", counts=(2, 2), nbytes=64)
+    >>> cache_key(p) == cache_key(SweepPoint.from_dict(p.to_dict()))
+    True
+    >>> cache_key(p) != cache_key(replace(p, nbytes=128))
+    True
+    >>> cache_key(p) != cache_key(replace(p, transport="pip_direct"))
+    True
+    """
+    from repro.bench import osu
+
+    doc: dict[str, Any] = {
+        "machine": point.spec().describe(),
+        "point": point.to_dict(),
+    }
+    if point.engine == "model":
+        doc["model_version"] = MODEL_VERSION
+    else:
+        doc["engine_version"] = ENGINE_VERSION
+        doc["reps"] = osu.DEFAULT_REPS
+        doc["warmup"] = osu.DEFAULT_WARMUP
+    return hashlib.sha256(_canonical(doc)).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed result cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed on-disk store of point results.
+
+    Entries live under ``<root>/objects/<k[:2]>/<k>.json`` where ``k``
+    is the :func:`cache_key`; writes are atomic (temp file + rename) so
+    concurrent sweeps sharing a cache directory are safe.  The instance
+    tracks session hit/miss/put counters; :meth:`stats` adds the
+    on-disk totals.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key}.json")
+
+    def get(self, key: str) -> dict | None:
+        """The stored record for *key*, or ``None`` (counts hit/miss).
+        A corrupt entry is treated as a miss (and overwritten by the
+        next :meth:`put`)."""
+        try:
+            with open(self._path(key), encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
+    def put(self, key: str, doc: dict) -> str:
+        """Store *doc* under *key* atomically; returns the entry path."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        self.puts += 1
+        return path
+
+    def _entries(self) -> Iterable[str]:
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for entry in sorted(os.listdir(shard_dir)):
+                if entry.endswith(".json"):
+                    yield os.path.join(shard_dir, entry)
+
+    def stats(self) -> dict:
+        """On-disk entry count/bytes plus this session's counters."""
+        entries = 0
+        nbytes = 0
+        for path in self._entries():
+            entries += 1
+            nbytes += os.path.getsize(path)
+        return {
+            "root": self.root,
+            "entries": entries,
+            "bytes": nbytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+        }
+
+    def gc(self, older_than: float | None = None,
+           everything: bool = False) -> int:
+        """Remove entries; returns how many were deleted.
+
+        With *older_than* (seconds) only entries whose mtime is older
+        than that age go; ``everything=True`` clears the store.  Stale
+        entries (written under an older engine/model version or machine
+        calibration) are never *addressed* again — their keys changed —
+        so gc is about disk space, not correctness.
+        """
+        now = time.time()
+        removed = 0
+        for path in list(self._entries()):
+            if not everything:
+                if older_than is None:
+                    continue
+                if now - os.path.getmtime(path) <= older_than:
+                    continue
+            try:
+                os.remove(path)
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+
+def default_cache() -> ResultCache | None:
+    """The process-wide cache named by ``$REPRO_SWEEP_CACHE`` (used
+    transparently by the figure harness), or ``None`` when unset."""
+    root = os.environ.get(CACHE_ENV)
+    return ResultCache(root) if root else None
+
+
+# ---------------------------------------------------------------------------
+# Point execution
+# ---------------------------------------------------------------------------
+
+def run_point(point: SweepPoint) -> dict:
+    """Execute one point (no cache) and return its result record:
+    ``latency_us``/``latency_s``, ``events`` (0 for the model engine),
+    ``wall_s``, ``events_per_s``, ``engine``, ``seed``.
+
+    Virtual-time fields depend only on the point (deterministic
+    engines); ``wall_s``/``events_per_s`` are wall-clock measurements
+    and vary run to run.
+    """
+    delay = os.environ.get(TEST_DELAY_ENV)
+    if delay:
+        time.sleep(float(delay))
+    if point.engine == "model":
+        return _run_model_point(point)
+    return _run_sim_point(point)
+
+
+def _run_sim_point(point: SweepPoint) -> dict:
+    from repro.bench.osu import (
+        hybrid_allgather_program,
+        pure_allgather_program,
+    )
+    from repro.mpi import run_program
+    from repro.mpi.collectives.registry import ForcedSelection
+
+    policy = None
+    if point.algo:
+        policy = ForcedSelection({point.resolved_op: point.algo})
+    program = (hybrid_allgather_program if point.variant == "hybrid"
+               else pure_allgather_program)
+    kwargs: dict[str, Any] = {"nbytes_per_rank": point.nbytes}
+    if point.variant == "pure" and point.is_irregular:
+        kwargs["irregular"] = True
+    t0 = time.perf_counter()
+    result = run_program(
+        point.spec(), None, program,
+        placement=point.placement(),
+        payload=point.payload,
+        fast_path=point.fast_path,
+        policy=policy,
+        program_kwargs=kwargs,
+    )
+    wall = time.perf_counter() - t0
+    latency = max(result.returns)
+    events = result.events_processed
+    return {
+        "latency_us": latency * 1e6,
+        "latency_s": latency,
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(events / wall, 1) if wall > 0 else 0.0,
+        "engine": "sim",
+        "seed": point_seed(point),
+    }
+
+
+def _run_model_point(point: SweepPoint) -> dict:
+    algo = point.algo
+    op = point.resolved_op
+    if algo is None:
+        if op == "hy_allgather":
+            algo = "shared_window"
+        else:
+            raise ValueError(
+                f"model-engine point for op {op!r} needs an explicit algo"
+            )
+    t0 = time.perf_counter()
+    model = CostModel(point.spec(), point.counts,
+                      socket_mode=point.socket_mode)
+    latency = model.predict(op, algo, point.nbytes)
+    wall = time.perf_counter() - t0
+    return {
+        "latency_us": latency * 1e6,
+        "latency_s": latency,
+        "events": 0,
+        "wall_s": round(wall, 6),
+        "events_per_s": 0.0,
+        "engine": "model",
+        "seed": point_seed(point),
+    }
+
+
+def store_record(cache: ResultCache, point: SweepPoint,
+                 record: dict) -> str:
+    """Store a computed *record* for *point* under its content address;
+    returns the cache key.  Used by every producer of point results —
+    the orchestrator itself and ``repro-perf`` (which always computes,
+    for honest wall-clocks, but warms the shared cache on the way)."""
+    key = cache_key(point)
+    cache.put(key, {
+        "key": key,
+        "name": point_name(point),
+        "point": point.to_dict(),
+        "machine_fingerprint": point.spec().fingerprint(),
+        "created": time.time(),
+        "result": record,
+    })
+    return key
+
+
+def evaluate(point: SweepPoint,
+             cache: ResultCache | None = None) -> tuple[dict, str]:
+    """Answer one point from *cache* or by running it; returns
+    ``(record, source)`` with source ``"cache"`` or ``"computed"``.
+    Computed results are stored before returning."""
+    if cache is None:
+        return run_point(point), "computed"
+    stored = cache.get(cache_key(point))
+    if stored is not None:
+        return stored["result"], "cache"
+    record = run_point(point)
+    store_record(cache, point, record)
+    return record, "computed"
+
+
+def cached_latency_us(machine: str, counts: Sequence[int], nbytes: int,
+                      variant: str, cache: ResultCache | None = None,
+                      **point_fields: Any) -> float:
+    """Latency (µs) of one simulator point, through *cache* when given
+    — or through :func:`default_cache` (``$REPRO_SWEEP_CACHE``) when
+    not.  This is the entry point the figure definitions
+    (`bench/figures.py`) measure their allgather points with."""
+    point = SweepPoint(machine=machine, counts=tuple(counts),
+                       nbytes=nbytes, variant=variant, **point_fields)
+    record, _source = evaluate(
+        point, cache if cache is not None else default_cache()
+    )
+    return record["latency_us"]
+
+
+# ---------------------------------------------------------------------------
+# Spec expansion
+# ---------------------------------------------------------------------------
+
+#: Spec keys that may be lists (swept axes).
+_AXES = ("machine", "elements", "nbytes", "variant", "algo", "transport",
+         "socket_mode", "ppn", "engine")
+_SCALARS = ("nodes", "counts", "payload", "fast_path", "op")
+
+
+def _listify(value) -> list:
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+def expand_spec(spec: dict) -> list[SweepPoint]:
+    """Expand a declarative sweep spec into its point grid.
+
+    The spec is a JSON object.  Population comes from either
+    ``counts`` (explicit per-node rank list) or ``nodes`` + ``ppn``;
+    message sizes from ``elements`` (8-byte elements) or ``nbytes``.
+    ``machine``, ``elements``/``nbytes``, ``variant``, ``algo``,
+    ``transport``, ``socket_mode``, ``ppn`` and ``engine`` may be
+    lists — the grid is their Cartesian product, in deterministic
+    (input) order.  Unknown keys are rejected.
+
+    >>> pts = expand_spec({"machine": "testing", "nodes": 2, "ppn": 2,
+    ...                    "elements": [1, 8], "variant": ["hybrid", "pure"]})
+    >>> [point_name(p) for p in pts]
+    ['n2x2/1el/hybrid', 'n2x2/1el/pure', 'n2x2/8el/hybrid', 'n2x2/8el/pure']
+    >>> expand_spec({"machine": "testing", "nodes": 2, "ppn": 2,
+    ...              "sizes": [1]})
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown sweep spec key(s): sizes
+    """
+    unknown = set(spec) - set(_AXES) - set(_SCALARS)
+    if unknown:
+        raise ValueError(
+            f"unknown sweep spec key(s): {', '.join(sorted(unknown))}"
+        )
+    if "counts" in spec and ("ppn" in spec or "nodes" in spec):
+        raise ValueError("give either counts or nodes+ppn, not both")
+    if "elements" in spec and "nbytes" in spec:
+        raise ValueError("give either elements or nbytes, not both")
+
+    machines = _listify(spec.get("machine", "hazel_hen"))
+    if "elements" in spec:
+        sizes = [int(e) * 8 for e in _listify(spec["elements"])]
+    else:
+        sizes = [int(b) for b in _listify(spec.get("nbytes", 8))]
+    variants = _listify(spec.get("variant", "hybrid"))
+    algos = _listify(spec.get("algo", None))
+    transports = _listify(spec.get("transport", None))
+    socket_modes = _listify(spec.get("socket_mode", "compact"))
+    engines = _listify(spec.get("engine", "sim"))
+    if "counts" in spec:
+        counts_axis = [tuple(int(c) for c in spec["counts"])]
+    else:
+        nodes = int(spec.get("nodes", 1))
+        counts_axis = [
+            (int(ppn),) * nodes for ppn in _listify(spec.get("ppn", 24))
+        ]
+
+    points = []
+    for machine, counts, transport, socket_mode, nbytes, variant, algo, \
+            engine in itertools.product(
+                machines, counts_axis, transports, socket_modes, sizes,
+                variants, algos, engines):
+        points.append(SweepPoint(
+            machine=machine, counts=counts, nbytes=nbytes, variant=variant,
+            engine=engine, op=spec.get("op"), algo=algo, transport=transport,
+            socket_mode=socket_mode,
+            payload=spec.get("payload", "cost-only"),
+            fast_path=bool(spec.get("fast_path", True)),
+        ))
+    return points
+
+
+def figure_points(label: str,
+                  quick: bool = False) -> list[tuple[str, SweepPoint]]:
+    """The canonical Fig 7/9/10 point lists — the single source of
+    truth shared by ``repro-perf`` (which wall-clocks them into
+    ``BENCH_<label>.json``) and ``repro-sweep run --figure`` (which
+    answers them through the cache).  Names match the committed BENCH
+    point keys.
+
+    >>> [name for name, _ in figure_points("fig7")][:2]
+    ['n1x24/1el/hybrid', 'n1x24/1el/pure']
+    >>> len(figure_points("fig9", quick=True))
+    6
+    """
+    points: list[tuple[str, SweepPoint]] = []
+    if label == "fig7":
+        for elements in (1, 1024, 16384):
+            for variant in ("hybrid", "pure"):
+                points.append((f"n1x24/{elements}el/{variant}", SweepPoint(
+                    machine="hazel_hen", counts=(24,),
+                    nbytes=elements * 8, variant=variant)))
+    elif label == "fig9":
+        nodes = 4 if quick else 16
+        for ppn in (3, 12, 24):
+            for variant in ("hybrid", "pure"):
+                points.append((f"n{nodes}x{ppn}/512el/{variant}", SweepPoint(
+                    machine="hazel_hen", counts=(ppn,) * nodes,
+                    nbytes=512 * 8, variant=variant)))
+    elif label == "fig10":
+        counts = tuple([24] * 6 + [16]) if quick else tuple([24] * 42 + [16])
+        ranks = sum(counts)
+        for elements in (1, 1024, 16384):
+            for variant in ("hybrid", "pure"):
+                points.append((f"r{ranks}/{elements}el/{variant}", SweepPoint(
+                    machine="hazel_hen", counts=counts,
+                    nbytes=elements * 8, variant=variant)))
+    else:
+        raise ValueError(
+            f"unknown figure label {label!r}; known: fig7, fig9, fig10"
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# The orchestrator
+# ---------------------------------------------------------------------------
+
+def _run_chunk_task(point_docs: list[dict]) -> list[dict]:
+    """Worker-side entry: run a chunk of points, catching per-point
+    errors so one bad point never poisons its chunk-mates."""
+    out = []
+    for doc in point_docs:
+        try:
+            out.append({"result": run_point(SweepPoint.from_dict(doc))})
+        except Exception as exc:  # noqa: BLE001 — reported, not swallowed
+            out.append({"error": f"{type(exc).__name__}: {exc}"})
+    return out
+
+
+def _chunks(seq: list, size: int) -> list[list]:
+    return [seq[i:i + size] for i in range(0, len(seq), size)]
+
+
+def run_sweep(points: Sequence[SweepPoint],
+              cache: ResultCache | None = None,
+              workers: int = 0,
+              timeout: float | None = None,
+              retries: int = 1,
+              chunksize: int = 1,
+              progress: bool = False) -> dict:
+    """Run a sweep: cache lookups first, then the misses — serially
+    (``workers=0``) or sharded over *workers* processes in chunks of
+    *chunksize* points.
+
+    Each miss gets ``1 + retries`` attempts; a chunk that exceeds
+    *timeout* seconds per point (workers > 0 only — a serial run cannot
+    preempt itself) or raises is retried and, when attempts run out,
+    recorded as a **structured failure record** in the report instead
+    of crashing the sweep.  Results are written back to *cache* in the
+    parent process.
+
+    Returns the sweep report::
+
+        {"points": {name: record},        # input order
+         "failures": [{"name", "point", "error", "attempts"}, ...],
+         "counters": {"points", "hits", "misses", "computed",
+                      "failed", "retried"},
+         "cache": cache.stats() | None, "workers": ..., "wall_s": ...}
+
+    Determinism: virtual-time fields of every record are independent of
+    *workers* — a parallel run is bit-identical to a serial one.
+    """
+    t0 = time.perf_counter()
+    names = [point_name(p) for p in points]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"sweep points collide: {', '.join(dupes)}")
+
+    records: dict[str, dict] = {}
+    sources: dict[str, str] = {}
+    failures: list[dict] = []
+    retried = 0
+
+    # Phase 1: answer what the cache already holds.
+    misses: list[tuple[str, SweepPoint]] = []
+    for name, point in zip(names, points):
+        stored = cache.get(cache_key(point)) if cache is not None else None
+        if stored is not None:
+            records[name] = stored["result"]
+            sources[name] = "cache"
+            if progress:
+                print(f"  {name}: cache hit", flush=True)
+        else:
+            misses.append((name, point))
+
+    # Phase 2: compute the misses.
+    def _store(name: str, point: SweepPoint, record: dict) -> None:
+        records[name] = record
+        sources[name] = "computed"
+        if cache is not None:
+            store_record(cache, point, record)
+        if progress:
+            print(f"  {name}: computed ({record['wall_s']}s wall)",
+                  flush=True)
+
+    if workers <= 0:
+        for name, point in misses:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    _store(name, point, run_point(point))
+                    break
+                except Exception as exc:  # noqa: BLE001
+                    if attempts <= retries:
+                        retried += 1
+                        continue
+                    failures.append({
+                        "name": name, "point": point.to_dict(),
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "attempts": attempts,
+                    })
+                    break
+    elif misses:
+        pending = list(misses)
+        attempts = {name: 0 for name, _ in misses}
+        round_no = 0
+        while pending and round_no <= retries:
+            if round_no > 0:
+                retried += len(pending)
+            # Retry rounds run one point per task to isolate the slow one.
+            size = chunksize if round_no == 0 else 1
+            chunks = _chunks(pending, max(1, size))
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            )
+            futures = [
+                (pool.submit(_run_chunk_task,
+                             [p.to_dict() for _n, p in chunk]), chunk)
+                for chunk in chunks
+            ]
+            next_round: list[tuple[str, SweepPoint]] = []
+            timed_out = False
+            for future, chunk in futures:
+                chunk_timeout = (
+                    None if timeout is None else timeout * len(chunk)
+                )
+                for _name, _point in chunk:
+                    attempts[_name] += 1
+                try:
+                    results = future.result(timeout=chunk_timeout)
+                except concurrent.futures.TimeoutError:
+                    timed_out = True
+                    next_round.extend(chunk)
+                    continue
+                except Exception as exc:  # noqa: BLE001 — pool breakage
+                    for name, point in chunk:
+                        next_round.append((name, point))
+                    continue
+                for (name, point), outcome in zip(chunk, results):
+                    if "result" in outcome:
+                        _store(name, point, outcome["result"])
+                    else:
+                        next_round.append((name, point))
+            # A timed-out worker may still be running; abandon the pool
+            # without waiting so retries start on fresh processes.
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+            pending = next_round
+            round_no += 1
+        for name, point in pending:
+            failures.append({
+                "name": name, "point": point.to_dict(),
+                "error": "timeout" if timeout is not None else "error",
+                "attempts": attempts[name],
+            })
+
+    hits = sum(1 for s in sources.values() if s == "cache")
+    computed = sum(1 for s in sources.values() if s == "computed")
+    report = {
+        "points": {n: records[n] for n in names if n in records},
+        "sources": {n: sources[n] for n in names if n in sources},
+        "failures": failures,
+        "counters": {
+            "points": len(points),
+            "hits": hits,
+            "misses": len(misses),
+            "computed": computed,
+            "failed": len(failures),
+            "retried": retried,
+        },
+        "cache": cache.stats() if cache is not None else None,
+        "workers": workers,
+        "wall_s": round(time.perf_counter() - t0, 4),
+    }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# BENCH conformance
+# ---------------------------------------------------------------------------
+
+def check_against_bench(report: dict, label: str,
+                        bench_dir: str = ".") -> list[str]:
+    """Compare a sweep report's virtual-time results with the committed
+    ``BENCH_<label>.json``; returns a list of mismatch strings (empty =
+    identical ``latency_us``/``events`` on every shared point)."""
+    path = os.path.join(bench_dir, f"BENCH_{label}.json")
+    if not os.path.exists(path):
+        return [f"no committed BENCH_{label}.json in {bench_dir}"]
+    with open(path, encoding="utf-8") as fh:
+        bench = json.load(fh)
+    problems = []
+    for name, ref in bench.get("points", {}).items():
+        mine = report["points"].get(name)
+        if mine is None:
+            problems.append(f"{name}: missing from the sweep report")
+            continue
+        for field_name in ("latency_us", "events"):
+            if mine.get(field_name) != ref.get(field_name):
+                problems.append(
+                    f"{name}: {field_name} {mine.get(field_name)!r} != "
+                    f"committed {ref.get(field_name)!r}"
+                )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _point_from_args(args) -> SweepPoint:
+    if args.counts:
+        counts = tuple(int(c) for c in args.counts.split(","))
+    else:
+        counts = (args.ppn,) * args.nodes
+    nbytes = args.nbytes if args.nbytes is not None else args.elements * 8
+    return SweepPoint(
+        machine=args.machine, counts=counts, nbytes=nbytes,
+        variant=args.variant, engine=args.engine, algo=args.algo,
+        transport=args.transport, socket_mode=args.socket_mode,
+    )
+
+
+def _cmd_run(args) -> int:
+    cache = ResultCache(args.cache) if args.cache else None
+    if args.figure:
+        named = figure_points(args.figure, quick=args.quick)
+        points = [p for _n, p in named]
+    else:
+        with open(args.spec, encoding="utf-8") as fh:
+            points = expand_spec(json.load(fh))
+    report = run_sweep(
+        points, cache=cache, workers=args.workers, timeout=args.timeout,
+        retries=args.retries, chunksize=args.chunksize,
+        progress=not args.quiet,
+    )
+    c = report["counters"]
+    hit_rate = c["hits"] / c["points"] if c["points"] else 0.0
+    print(f"{c['points']} points: {c['hits']} cache hits "
+          f"({hit_rate:.0%}), {c['computed']} computed, "
+          f"{c['failed']} failed, {report['wall_s']}s wall", flush=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", flush=True)
+    rc = 1 if report["failures"] else 0
+    if args.check_bench and args.figure:
+        problems = check_against_bench(report, args.figure, args.check_bench)
+        for problem in problems:
+            print(f"BENCH MISMATCH: {problem}", file=sys.stderr)
+        if problems:
+            rc = 1
+        else:
+            print(f"matches committed BENCH_{args.figure}.json "
+                  "(latency_us and events identical)", flush=True)
+    return rc
+
+
+def _cmd_query(args) -> int:
+    cache = ResultCache(args.cache) if args.cache else None
+    point = _point_from_args(args)
+    key = cache_key(point)
+    if args.cache_only:
+        stored = cache.get(key) if cache is not None else None
+        if stored is None:
+            print(f"MISS {key}", file=sys.stderr)
+            return 1
+        record, source = stored["result"], "cache"
+    else:
+        record, source = evaluate(point, cache)
+    print(json.dumps({
+        "name": point_name(point), "key": key, "source": source,
+        "result": record,
+    }, indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    print(json.dumps(ResultCache(args.cache).stats(), indent=1,
+                     sort_keys=True))
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    cache = ResultCache(args.cache)
+    removed = cache.gc(older_than=args.older_than, everything=args.all)
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.bench.service import serve
+
+    serve(cache_dir=args.cache, host=args.host, port=args.port)
+    return 0
+
+
+def _add_point_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--machine", default="hazel_hen",
+                        choices=sorted(MACHINES))
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--ppn", type=int, default=24)
+    parser.add_argument("--counts", default=None,
+                        help="per-node rank counts, comma separated "
+                             "(overrides --nodes/--ppn)")
+    parser.add_argument("--elements", type=int, default=1,
+                        help="8-byte elements per rank")
+    parser.add_argument("--nbytes", type=int, default=None,
+                        help="bytes per rank (overrides --elements)")
+    parser.add_argument("--variant", default="hybrid",
+                        choices=("hybrid", "pure"))
+    parser.add_argument("--engine", default="sim", choices=("sim", "model"))
+    parser.add_argument("--algo", default=None)
+    parser.add_argument("--transport", default=None)
+    parser.add_argument("--socket-mode", dest="socket_mode",
+                        default="compact",
+                        choices=Placement.SOCKET_MODES)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description=("Sharded sweep orchestrator with a content-addressed "
+                     "result cache (see docs/sweeps.md)."),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a sweep (spec file or figure)")
+    group = p_run.add_mutually_exclusive_group(required=True)
+    group.add_argument("--spec", help="sweep spec JSON file")
+    group.add_argument("--figure", choices=("fig7", "fig9", "fig10"),
+                       help="a canonical figure config")
+    p_run.add_argument("--quick", action="store_true",
+                       help="reduced figure grid (CI smoke)")
+    p_run.add_argument("--cache", default=None, metavar="DIR")
+    p_run.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = serial, the default)")
+    p_run.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-point timeout, seconds (workers > 0)")
+    p_run.add_argument("--retries", type=int, default=1,
+                       help="extra attempts per failed point (default 1)")
+    p_run.add_argument("--chunksize", type=int, default=1,
+                       help="points per worker task (default 1)")
+    p_run.add_argument("--out", default=None, help="write the report here")
+    p_run.add_argument("--check-bench", metavar="DIR", default=None,
+                       help="verify virtual-time results against the "
+                            "committed BENCH_<figure>.json in DIR")
+    p_run.add_argument("--quiet", action="store_true")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_query = sub.add_parser("query", help="answer one point")
+    _add_point_args(p_query)
+    p_query.add_argument("--cache", default=None, metavar="DIR")
+    p_query.add_argument("--cache-only", action="store_true",
+                         help="exit 1 on a cache miss instead of computing")
+    p_query.set_defaults(fn=_cmd_query)
+
+    p_stats = sub.add_parser("stats", help="cache statistics")
+    p_stats.add_argument("--cache", required=True, metavar="DIR")
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    p_gc = sub.add_parser("gc", help="delete cache entries")
+    p_gc.add_argument("--cache", required=True, metavar="DIR")
+    p_gc.add_argument("--older-than", type=float, default=None, metavar="S",
+                      help="only entries older than S seconds")
+    p_gc.add_argument("--all", action="store_true", help="clear the store")
+    p_gc.set_defaults(fn=_cmd_gc)
+
+    p_serve = sub.add_parser("serve", help="JSON-over-HTTP service mode")
+    p_serve.add_argument("--cache", default=None, metavar="DIR")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8351)
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -20,7 +20,9 @@ traffic the hybrid MPI+MPI collectives eliminate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from repro.machine.compute import ComputeModel
 from repro.machine.network import NetworkModel, NetworkSpec
@@ -157,6 +159,41 @@ class MachineSpec:
             raise ValueError(f"unknown topology_kind {self.topology_kind!r}")
         self.node.validate()
         self.network.validate()
+
+    def describe(self) -> dict:
+        """JSON-serializable description of every constant in the spec.
+
+        Covers the node (sockets, transport, memory system), network,
+        compute model and topology kind — anything that can change a
+        simulated or modelled latency.  This is the canonical form the
+        sweep result cache (:mod:`repro.bench.sweep`) hashes, so two
+        specs with equal ``describe()`` output are interchangeable for
+        caching purposes.
+
+        >>> hazel = MachineSpec("hh", 4)
+        >>> hazel.describe()["num_nodes"]
+        4
+        >>> hazel.describe()["node"]["transport"]
+        'shm_two_copy'
+        """
+        return asdict(self)
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 hex digest over :meth:`describe`.
+
+        Equal for equal specs, different whenever any hardware constant
+        — including sockets, transport, or topology kind — differs.
+
+        >>> a, b = MachineSpec("m", 2), MachineSpec("m", 2)
+        >>> a.fingerprint() == b.fingerprint()
+        True
+        >>> a.fingerprint() != MachineSpec("m", 3).fingerprint()
+        True
+        """
+        blob = json.dumps(
+            self.describe(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def build_topology(self) -> Topology:
         """Construct the default topology for this spec."""

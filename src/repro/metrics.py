@@ -33,6 +33,7 @@ import json
 __all__ = [
     "LATENCY_BUCKETS",
     "collect_metrics",
+    "sweep_metrics",
     "to_prometheus",
     "save_metrics",
 ]
@@ -96,6 +97,41 @@ def collect_metrics(result) -> dict:
         "queue_wait": _histogram(waits) if waits else None,
         "profile": result.comm_summary(),
     }
+
+
+def sweep_metrics(report: dict) -> dict:
+    """Aggregate a :func:`repro.bench.sweep.run_sweep` report into the
+    same metrics shape :func:`collect_metrics` produces, so sweep runs
+    export through the existing :func:`to_prometheus` /
+    :func:`save_metrics` plumbing.
+
+    Counters carry the orchestrator's observability signals — points
+    answered, cache hits/misses, computed/failed/retried counts, worker
+    count and wall seconds — prefixed ``sweep_`` so they never collide
+    with the per-job simulator counters.
+
+    >>> report = {"counters": {"points": 4, "hits": 3, "misses": 1,
+    ...                        "computed": 1, "failed": 0, "retried": 0},
+    ...           "workers": 2, "wall_s": 0.25}
+    >>> m = sweep_metrics(report)
+    >>> m["counters"]["sweep_cache_hits"]
+    3
+    >>> "repro_sweep_points 4" in to_prometheus(m)
+    True
+    """
+    c = report.get("counters", {})
+    counters = {
+        "sweep_points": c.get("points", 0),
+        "sweep_cache_hits": c.get("hits", 0),
+        "sweep_cache_misses": c.get("misses", 0),
+        "sweep_computed": c.get("computed", 0),
+        "sweep_failed": c.get("failed", 0),
+        "sweep_retried": c.get("retried", 0),
+        "sweep_workers": report.get("workers", 0),
+        "sweep_wall_seconds": report.get("wall_s", 0.0),
+    }
+    return {"counters": counters, "ops": {}, "queue_wait": None,
+            "profile": {}}
 
 
 def _prom_hist(lines: list[str], name: str, labels: str, hist: dict) -> None:

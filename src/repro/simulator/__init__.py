@@ -27,6 +27,7 @@ Example
 """
 
 from repro.simulator.engine import (
+    ENGINE_VERSION,
     AllOf,
     AnyOf,
     DeadlockError,
@@ -43,6 +44,7 @@ __all__ = [
     "AnyOf",
     "BandwidthChannel",
     "DeadlockError",
+    "ENGINE_VERSION",
     "Engine",
     "Event",
     "Interrupt",

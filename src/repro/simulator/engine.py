@@ -42,12 +42,22 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "DeadlockError",
+    "ENGINE_VERSION",
     "Engine",
     "Event",
     "Interrupt",
     "Process",
     "SimulationError",
 ]
+
+#: Version of the engine's *virtual-time semantics*.  Bump whenever a
+#: change alters event ordering, event counts, or charged latencies —
+#: the content-addressed result cache (:mod:`repro.bench.sweep`) folds
+#: this into every cache key, so cached simulation results invalidate
+#: automatically when the semantics move.  Pure wall-clock optimizations
+#: that keep the event stream bit-identical (see docs/performance.md)
+#: do NOT bump it.
+ENGINE_VERSION = "5.0"
 
 
 class SimulationError(RuntimeError):

@@ -1,0 +1,371 @@
+"""Sweep orchestrator + content-addressed cache (repro.bench.sweep).
+
+Pins the contracts docs/sweeps.md promises:
+
+* parallel and serial execution produce bit-identical virtual-time
+  results (the simulator is deterministic; process boundaries are
+  invisible);
+* a cache hit answers without simulating (counters prove it);
+* the cache key covers every input that can change an answer — machine
+  preset, transport, point axes, engine version — and nothing changes
+  silently;
+* a worker that exceeds its timeout or raises becomes a structured
+  failure record after bounded retries, never a crashed sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench import sweep as sweeplib
+from repro.bench.sweep import (
+    ResultCache,
+    SweepPoint,
+    cache_key,
+    cached_latency_us,
+    evaluate,
+    expand_spec,
+    figure_points,
+    point_name,
+    point_seed,
+    run_point,
+    run_sweep,
+)
+
+# A Fig-9 miniature: ppn sweep at fixed node count, hybrid vs pure —
+# small enough for process-pool tests to stay fast.
+FIG9_MINI = {
+    "machine": "hazel_hen",
+    "nodes": 2,
+    "ppn": [3, 6],
+    "elements": 512,
+    "variant": ["hybrid", "pure"],
+}
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+# ---------------------------------------------------------------------------
+# Points, names, keys
+# ---------------------------------------------------------------------------
+
+def test_expand_spec_grid_order():
+    points = expand_spec(FIG9_MINI)
+    assert [point_name(p) for p in points] == [
+        "n2x3/512el/hybrid", "n2x3/512el/pure",
+        "n2x6/512el/hybrid", "n2x6/512el/pure",
+    ]
+
+
+def test_expand_spec_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown sweep spec key"):
+        expand_spec({"machine": "testing", "sizes": [8]})
+
+
+def test_point_roundtrip_and_seed_stability():
+    point = SweepPoint(machine="testing", counts=(4, 2), nbytes=64,
+                       variant="pure")
+    clone = SweepPoint.from_dict(json.loads(json.dumps(point.to_dict())))
+    assert clone == point
+    assert point_seed(clone) == point_seed(point)
+    assert cache_key(clone) == cache_key(point)
+
+
+def test_figure_points_match_bench_names():
+    names = [name for name, _ in figure_points("fig10", quick=True)]
+    assert names == [
+        "r160/1el/hybrid", "r160/1el/pure",
+        "r160/1024el/hybrid", "r160/1024el/pure",
+        "r160/16384el/hybrid", "r160/16384el/pure",
+    ]
+
+
+def test_cache_key_changes_with_machine_and_transport():
+    base = SweepPoint(machine="hazel_hen_2s", counts=(4, 4), nbytes=64)
+    keys = {
+        cache_key(base),
+        cache_key(SweepPoint(machine="hazel_hen", counts=(4, 4), nbytes=64)),
+        cache_key(SweepPoint(machine="hazel_hen_2s", counts=(4, 4),
+                             nbytes=64, transport="cma_single_copy")),
+        cache_key(SweepPoint(machine="hazel_hen_2s", counts=(4, 4),
+                             nbytes=64, socket_mode="scatter")),
+    }
+    assert len(keys) == 4
+
+
+def test_cache_key_changes_with_engine_version(monkeypatch):
+    point = SweepPoint(machine="testing", counts=(2, 2), nbytes=64)
+    before = cache_key(point)
+    monkeypatch.setattr(sweeplib, "ENGINE_VERSION", "999.0-test")
+    assert cache_key(point) != before
+    # Model points key on MODEL_VERSION instead, so they are unmoved.
+    model_point = SweepPoint(machine="testing", counts=(2, 2), nbytes=64,
+                             engine="model", algo="shared_window")
+    model_before = cache_key(model_point)
+    monkeypatch.setattr(sweeplib, "MODEL_VERSION", "999.0-test")
+    assert cache_key(model_point) != model_before
+    assert cache_key(point) != before  # still keyed on the fake engine
+
+
+def test_cache_key_changes_with_osu_reps(monkeypatch):
+    from repro.bench import osu
+
+    point = SweepPoint(machine="testing", counts=(2, 2), nbytes=64)
+    before = cache_key(point)
+    monkeypatch.setattr(osu, "DEFAULT_REPS", 5)
+    assert cache_key(point) != before
+
+
+# ---------------------------------------------------------------------------
+# Cache semantics
+# ---------------------------------------------------------------------------
+
+def test_cache_hit_returns_without_simulating(cache, monkeypatch):
+    point = SweepPoint(machine="testing", counts=(2, 2), nbytes=64)
+    record, source = evaluate(point, cache)
+    assert source == "computed"
+    assert cache.puts == 1
+
+    # Second evaluation must be answered purely from the cache: break
+    # the engine entry point to prove nothing simulates.
+    def boom(_point):
+        raise AssertionError("cache hit must not simulate")
+
+    monkeypatch.setattr(sweeplib, "run_point", boom)
+    again, source = evaluate(point, cache)
+    assert source == "cache"
+    assert again == record
+    assert cache.hits == 1
+
+
+def test_run_sweep_counters_cold_then_warm(cache):
+    points = expand_spec(FIG9_MINI)
+    cold = run_sweep(points, cache=cache)
+    assert cold["counters"] == {
+        "points": 4, "hits": 0, "misses": 4, "computed": 4,
+        "failed": 0, "retried": 0,
+    }
+    warm = run_sweep(points, cache=cache)
+    assert warm["counters"]["hits"] == 4
+    assert warm["counters"]["computed"] == 0
+    assert warm["points"] == cold["points"]
+    assert warm["cache"]["entries"] == 4
+
+
+def test_corrupt_cache_entry_is_a_miss(cache):
+    point = SweepPoint(machine="testing", counts=(2,), nbytes=8)
+    record, _ = evaluate(point, cache)
+    path = cache._path(cache_key(point))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("{ not json")
+    again, source = evaluate(point, cache)
+    assert source == "computed"
+    assert again["latency_us"] == record["latency_us"]
+
+
+def test_gc(cache):
+    for nbytes in (8, 16, 24):
+        evaluate(SweepPoint(machine="testing", counts=(2,),
+                            nbytes=nbytes), cache)
+    assert cache.stats()["entries"] == 3
+    assert cache.gc(older_than=3600.0) == 0   # all fresh
+    assert cache.gc(everything=True) == 3
+    assert cache.stats()["entries"] == 0
+
+
+def test_cached_latency_us_uses_env_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(sweeplib.CACHE_ENV, str(tmp_path / "env-cache"))
+    first = cached_latency_us("testing", (2, 2), 64, "hybrid")
+    # Second call must hit the on-disk entry the first one wrote.
+    def boom(_point):
+        raise AssertionError("env-cache hit must not simulate")
+
+    monkeypatch.setattr(sweeplib, "run_point", boom)
+    assert cached_latency_us("testing", (2, 2), 64, "hybrid") == first
+
+
+# ---------------------------------------------------------------------------
+# Determinism: parallel == serial
+# ---------------------------------------------------------------------------
+
+def test_parallel_bit_identical_to_serial(cache):
+    points = expand_spec(FIG9_MINI)
+    serial = run_sweep(points, cache=None)
+    parallel = run_sweep(points, cache=cache, workers=2, chunksize=2,
+                         timeout=120.0)
+    assert parallel["counters"]["failed"] == 0
+    for name in serial["points"]:
+        a, b = serial["points"][name], parallel["points"][name]
+        # Bit-identical virtual-time results (not approximate).
+        assert a["latency_us"] == b["latency_us"]
+        assert a["latency_s"] == b["latency_s"]
+        assert a["events"] == b["events"]
+        assert a["seed"] == b["seed"]
+    # And the cache now answers the same sweep without computing.
+    warm = run_sweep(points, cache=cache, workers=2)
+    assert warm["counters"]["hits"] == len(points)
+    for name in serial["points"]:
+        assert warm["points"][name]["latency_us"] == \
+            serial["points"][name]["latency_us"]
+
+
+def test_model_engine_points(cache):
+    point = SweepPoint(machine="hazel_hen", counts=(24, 24), nbytes=4096,
+                       variant="hybrid", engine="model")
+    record, _ = evaluate(point, cache)
+    assert record["engine"] == "model"
+    assert record["events"] == 0
+    assert record["latency_us"] == pytest.approx(
+        record["latency_s"] * 1e6)
+    # Keyed on MODEL_VERSION, not ENGINE_VERSION: same point, sim
+    # engine, must address a different entry.
+    sim_key = cache_key(SweepPoint(machine="hazel_hen", counts=(24, 24),
+                                   nbytes=4096, variant="hybrid"))
+    assert cache_key(point) != sim_key
+
+
+# ---------------------------------------------------------------------------
+# Failure handling
+# ---------------------------------------------------------------------------
+
+def test_serial_error_becomes_failure_record(cache):
+    good = SweepPoint(machine="testing", counts=(2,), nbytes=8)
+    bad = SweepPoint(machine="testing", counts=(2,), nbytes=16,
+                     algo="no_such_algorithm")
+    report = run_sweep([good, bad], cache=cache, retries=1)
+    assert report["counters"]["failed"] == 1
+    assert report["counters"]["computed"] == 1
+    (failure,) = report["failures"]
+    assert failure["name"] == point_name(bad)
+    assert failure["attempts"] == 2          # initial try + 1 retry
+    assert "no_such_algorithm" in failure["error"]
+    assert point_name(good) in report["points"]
+
+
+def test_worker_timeout_becomes_failure_record(monkeypatch):
+    monkeypatch.setenv(sweeplib.TEST_DELAY_ENV, "5.0")
+    slow = SweepPoint(machine="testing", counts=(2,), nbytes=8)
+    report = run_sweep([slow], workers=1, timeout=0.2, retries=1)
+    assert report["counters"]["failed"] == 1
+    (failure,) = report["failures"]
+    assert failure["error"] == "timeout"
+    assert failure["attempts"] == 2
+    assert report["points"] == {}
+
+
+def test_worker_error_becomes_failure_record():
+    bad = SweepPoint(machine="testing", counts=(2,), nbytes=16,
+                     algo="no_such_algorithm")
+    report = run_sweep([bad], workers=1, retries=0)
+    assert report["counters"]["failed"] == 1
+    assert report["failures"][0]["attempts"] == 1
+
+
+def test_duplicate_point_names_rejected():
+    point = SweepPoint(machine="testing", counts=(2,), nbytes=8)
+    with pytest.raises(ValueError, match="collide"):
+        run_sweep([point, point])
+
+
+# ---------------------------------------------------------------------------
+# Perf-harness and BENCH integration
+# ---------------------------------------------------------------------------
+
+def test_perf_harness_warms_the_sweep_cache(cache):
+    from repro.bench.perf import run_perf
+
+    doc = run_perf("fig7", progress=False, cache=cache)
+    assert cache.puts == len(doc["points"])
+    # The sweep path must now answer fig7 entirely from cache, with
+    # identical virtual-time numbers.
+    points = figure_points("fig7")
+    report = run_sweep([p for _n, p in points], cache=cache)
+    assert report["counters"]["hits"] == len(points)
+    for name, _p in points:
+        assert report["points"][name]["latency_us"] == \
+            doc["points"][name]["latency_us"]
+        assert report["points"][name]["events"] == \
+            doc["points"][name]["events"]
+
+
+def test_check_against_bench(tmp_path, cache):
+    from repro.bench.sweep import check_against_bench
+
+    points = figure_points("fig7")
+    report = run_sweep([p for _n, p in points], cache=cache)
+    bench = {"label": "fig7",
+             "points": {n: dict(report["points"][n]) for n, _p in points}}
+    with open(tmp_path / "BENCH_fig7.json", "w", encoding="utf-8") as fh:
+        json.dump(bench, fh)
+    assert check_against_bench(report, "fig7", str(tmp_path)) == []
+    # A diverging committed latency must be flagged.
+    bench["points"]["n1x24/1el/hybrid"]["latency_us"] += 1.0
+    with open(tmp_path / "BENCH_fig7.json", "w", encoding="utf-8") as fh:
+        json.dump(bench, fh)
+    problems = check_against_bench(report, "fig7", str(tmp_path))
+    assert len(problems) == 1 and "n1x24/1el/hybrid" in problems[0]
+
+
+def test_sweep_metrics_export(cache):
+    from repro.metrics import sweep_metrics, to_prometheus
+
+    report = run_sweep(expand_spec(FIG9_MINI), cache=cache)
+    metrics = sweep_metrics(report)
+    assert metrics["counters"]["sweep_points"] == 4
+    assert metrics["counters"]["sweep_cache_misses"] == 4
+    prom = to_prometheus(metrics)
+    assert "repro_sweep_points 4" in prom
+    assert "repro_sweep_cache_misses 4" in prom
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_run_query_stats_gc(tmp_path, capsys):
+    from repro.bench.sweep import main
+
+    cache_dir = str(tmp_path / "cache")
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "machine": "testing", "nodes": 2, "ppn": 2, "elements": [1, 8],
+    }))
+    out_path = tmp_path / "report.json"
+    assert main(["run", "--spec", str(spec_path), "--cache", cache_dir,
+                 "--out", str(out_path), "--quiet"]) == 0
+    report = json.loads(out_path.read_text())
+    assert report["counters"] == {
+        "points": 2, "hits": 0, "misses": 2, "computed": 2,
+        "failed": 0, "retried": 0,
+    }
+    capsys.readouterr()
+
+    # Warm re-run: 100% hit rate.
+    assert main(["run", "--spec", str(spec_path), "--cache", cache_dir,
+                 "--quiet"]) == 0
+    assert "2 cache hits (100%)" in capsys.readouterr().out
+
+    # query --cache-only answers from disk.
+    assert main(["query", "--machine", "testing", "--nodes", "2",
+                 "--ppn", "2", "--elements", "8", "--cache", cache_dir,
+                 "--cache-only"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["source"] == "cache"
+    assert doc["result"]["latency_us"] > 0
+
+    assert main(["stats", "--cache", cache_dir]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] == 2
+
+    assert main(["gc", "--cache", cache_dir, "--all"]) == 0
+    assert "removed 2 entries" in capsys.readouterr().out
+
+    # After gc, --cache-only misses and exits non-zero.
+    assert main(["query", "--machine", "testing", "--nodes", "2",
+                 "--ppn", "2", "--elements", "8", "--cache", cache_dir,
+                 "--cache-only"]) == 1
