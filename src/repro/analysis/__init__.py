@@ -2,8 +2,11 @@
 
 from repro.analysis.critical_path import (
     CriticalPathReport,
+    OverlapReport,
     critical_path_report,
+    format_overlap_report,
     format_report,
+    overlap_report,
 )
 from repro.analysis.model import (
     MODEL_FORMS,
@@ -12,16 +15,21 @@ from repro.analysis.model import (
     model_for_comm,
     predict,
     predict_comm,
+    predict_overlap,
 )
 
 __all__ = [
     "CriticalPathReport",
+    "OverlapReport",
     "critical_path_report",
+    "format_overlap_report",
     "format_report",
+    "overlap_report",
     "MODEL_FORMS",
     "CostModel",
     "crossover_points",
     "model_for_comm",
     "predict",
     "predict_comm",
+    "predict_overlap",
 ]

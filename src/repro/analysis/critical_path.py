@@ -20,17 +20,27 @@ end-to-end virtual time** (``total``) by construction — the gap category
 is defined as the remainder.  Float addition makes "exactly" a relative
 tolerance of a few ulps in practice, which is what the tests assert.
 
-The decomposition assumes spans on one rank nest (true for blocking
-collectives; concurrent non-blocking collectives on one rank can
-overlap, which distorts depth bookkeeping and may drive the gap
-negative — the report carries on, it is attribution, not accounting).
+The decomposition assumes spans on one rank nest.  Blocking collectives
+always do; non-blocking collectives run in their own tracer context, so
+their spans nest correctly *within* each collective, but two concurrent
+collectives' top-level spans can overlap in time — summing their
+durations then over-counts ``covered`` and may drive the gap negative.
+The report carries on (it is attribution, not accounting); for overlap
+questions use :func:`overlap_report`, which measures the *union* of
+communication intervals against the union of compute intervals (traced
+with ``trace="dispatch+compute"``) and splits communication into the
+**hidden** part (concurrent with compute) and the **exposed** remainder
+that actually extends the critical path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["CriticalPathReport", "critical_path_report", "format_report"]
+__all__ = [
+    "CriticalPathReport", "critical_path_report", "format_report",
+    "OverlapReport", "overlap_report", "format_overlap_report",
+]
 
 #: Category charged with time not covered by any top-level span.
 OUTSIDE = "(outside spans)"
@@ -131,6 +141,136 @@ def critical_path_report(trace: list[dict],
     return CriticalPathReport(
         rank=crit, total=total, categories=categories, calls=calls
     )
+
+
+def _union(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge possibly-overlapping ``(start, end)`` intervals."""
+    merged: list[list[float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return [(s, e) for s, e in merged]
+
+
+def _measure(intervals: list[tuple[float, float]]) -> float:
+    return sum(e - s for s, e in intervals)
+
+
+def _intersect(a: list[tuple[float, float]],
+               b: list[tuple[float, float]]) -> float:
+    """Total measure of the intersection of two merged interval lists."""
+    i = j = 0
+    out = 0.0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            out += hi - lo
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+@dataclass
+class OverlapReport:
+    """Hidden- vs exposed-communication decomposition of a traced run.
+
+    All times are virtual seconds on the **critical rank** (the rank
+    whose last span ends latest); ``per_rank`` carries the same numbers
+    for every rank.
+    """
+
+    rank: int
+    total: float
+    comm: float
+    compute: float
+    hidden: float
+    exposed: float
+    per_rank: dict[int, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def overlap_pct(self) -> float:
+        """Hidden communication as a percentage of all communication."""
+        return 100.0 * self.hidden / self.comm if self.comm > 0 else 0.0
+
+
+def overlap_report(trace: list[dict],
+                   total_time: float | None = None) -> OverlapReport:
+    """Measure hidden vs exposed communication time per rank.
+
+    Communication is the union of each rank's *top-level* ``dispatch``
+    spans (nested phase/sub-collective spans are already inside them);
+    compute is the union of its ``kind="compute"`` spans (present when
+    the job was traced with ``trace="dispatch+compute"``).  Hidden is
+    the measure of their intersection — communication that ran while
+    the rank computed — and exposed is the rest, the part that actually
+    extended the rank's timeline.  Without compute spans everything is
+    exposed (the blocking baseline).
+    """
+    comm_iv: dict[int, list[tuple[float, float]]] = {}
+    compute_iv: dict[int, list[tuple[float, float]]] = {}
+    sids: dict[int, set] = {}
+    last_end: dict[int, float] = {}
+    for rec in trace:
+        if rec.get("dur") is None:
+            continue
+        rank = rec["rank"]
+        kind = rec.get("kind", "dispatch")
+        span = (rec["t"], rec["t"] + rec["dur"])
+        last_end[rank] = max(last_end.get(rank, 0.0), span[1])
+        if kind == "compute":
+            compute_iv.setdefault(rank, []).append(span)
+        elif kind == "dispatch":
+            if rec.get("parent") not in sids.setdefault(rank, set()):
+                comm_iv.setdefault(rank, []).append(span)
+            sids[rank].add(rec["sid"])
+    if not last_end:
+        return OverlapReport(rank=-1, total=total_time or 0.0,
+                             comm=0.0, compute=0.0, hidden=0.0, exposed=0.0)
+
+    per_rank: dict[int, dict[str, float]] = {}
+    for rank in sorted(last_end):
+        comm = _union(comm_iv.get(rank, []))
+        compute = _union(compute_iv.get(rank, []))
+        hidden = _intersect(comm, compute)
+        comm_t = _measure(comm)
+        per_rank[rank] = {
+            "comm": comm_t,
+            "compute": _measure(compute),
+            "hidden": hidden,
+            "exposed": comm_t - hidden,
+        }
+    crit = min(r for r, e in last_end.items() if e == max(last_end.values()))
+    total = total_time if total_time is not None else last_end[crit]
+    stats = per_rank[crit]
+    return OverlapReport(
+        rank=crit, total=total, comm=stats["comm"],
+        compute=stats["compute"], hidden=stats["hidden"],
+        exposed=stats["exposed"], per_rank=per_rank,
+    )
+
+
+def format_overlap_report(report: OverlapReport) -> str:
+    """Render an overlap report as an aligned text table (µs)."""
+    lines = [
+        f"critical rank: {report.rank}   "
+        f"end-to-end: {report.total * 1e6:.2f} us   "
+        f"overlap: {report.overlap_pct:.1f}%",
+        f"{'rank':>5} {'comm(us)':>10} {'compute(us)':>12} "
+        f"{'hidden(us)':>11} {'exposed(us)':>12}",
+    ]
+    for rank, st in report.per_rank.items():
+        mark = " *" if rank == report.rank else ""
+        lines.append(
+            f"{rank:>5} {st['comm'] * 1e6:>10.2f} "
+            f"{st['compute'] * 1e6:>12.2f} {st['hidden'] * 1e6:>11.2f} "
+            f"{st['exposed'] * 1e6:>12.2f}{mark}"
+        )
+    return "\n".join(lines)
 
 
 def format_report(report: CriticalPathReport, max_rows: int = 20) -> str:

@@ -15,6 +15,18 @@ each and compares:
   added barrier after each broadcast; on-node ranks compute straight out
   of the node-shared panel, so no on-node panel copies exist.
 
+With ``overlap=True`` both variants pre-post iteration *k+1*'s two panel
+broadcasts (``ibcast``) before running iteration *k*'s GEMM, so the
+communication progresses behind the compute and only the *exposed*
+remainder is waited for.  The hybrid variant double-buffers the shared
+panel windows (depth 2): the panel being computed from and the panel in
+flight live in distinct node-shared regions.  Overwriting buffer
+``(k+1) % 2`` at post time is safe because every rank has finished its
+reads of panel ``k-1`` (which used the same region) before any root's
+``wait(k)`` — and hence its post of ``k+1`` — can complete: a rank's
+background broadcast *k* only passes the release barrier after that rank
+posted it, which happens after its own panel ``k-1`` reads.
+
 In data mode the blocks are real and the product is verified; in model
 mode the GEMM is charged through the compute model only.
 """
@@ -52,11 +64,16 @@ class SummaConfig:
     verify:
         In data mode, check the distributed product against a local
         ``A @ B`` (only sensible for small grids).
+    overlap:
+        Pre-post the next iteration's panel broadcasts behind the
+        current GEMM (non-blocking ``ibcast`` + double buffering);
+        ``comm`` then reports only the *exposed* wait time.
     """
 
     block: int = 64
     variant: str = "ori"
     verify: bool = False
+    overlap: bool = False
 
     def __post_init__(self) -> None:
         if self.variant not in ("ori", "hybrid"):
@@ -90,14 +107,94 @@ def summa_program(mpi, config: SummaConfig):
 
     hybrid_row = hybrid_col = None
     abuf = bbuf = None
+    abufs = bbufs = None
     if config.variant == "hybrid":
         hybrid_row = yield from HybridContext.create(row_comm)
         hybrid_col = yield from HybridContext.create(col_comm)
-        abuf = yield from hybrid_row.bcast_buffer(b * b * 8)
-        bbuf = yield from hybrid_col.bcast_buffer(b * b * 8)
+        if config.overlap:
+            # Depth-2 double buffering: the panel being multiplied and
+            # the panel in flight occupy distinct node-shared regions.
+            abufs, bbufs = [], []
+            for _ in range(2):
+                ab = yield from hybrid_row.bcast_buffer(b * b * 8, cache=False)
+                bb = yield from hybrid_col.bcast_buffer(b * b * 8, cache=False)
+                abufs.append(ab)
+                bbufs.append(bb)
+        else:
+            abuf = yield from hybrid_row.bcast_buffer(b * b * 8)
+            bbuf = yield from hybrid_col.bcast_buffer(b * b * 8)
 
     t_start = mpi.now
     comm_time = 0.0
+
+    if config.overlap:
+        def post_panels(k):
+            """Coroutine: post iteration *k*'s two panel broadcasts."""
+            if config.variant == "ori":
+                if data:
+                    pa = a_own.copy() if col == k else np.empty((b, b))
+                    pb = b_own.copy() if row == k else np.empty((b, b))
+                else:
+                    pa = Bytes(b * b * 8)
+                    pb = Bytes(b * b * 8)
+                if False:  # pragma: no cover - keeps this a generator
+                    yield None
+                return (
+                    row_comm.ibcast(pa, root=k),
+                    col_comm.ibcast(pb, root=k),
+                )
+            abuf_k, bbuf_k = abufs[k % 2], bbufs[k % 2]
+            if col == k:
+                view = abuf_k.node_view(np.float64)
+                if view is not None:
+                    view[:] = a_own.reshape(-1)
+                # Root's store of its panel into the shared window.
+                yield from mpi.machine.memory_copy(mpi.node, b * b * 8)
+            req_a = hybrid_row.ibcast(abuf_k, root=k)
+            if row == k:
+                view = bbuf_k.node_view(np.float64)
+                if view is not None:
+                    view[:] = b_own.reshape(-1)
+                yield from mpi.machine.memory_copy(mpi.node, b * b * 8)
+            req_b = hybrid_col.ibcast(bbuf_k, root=k)
+            return req_a, req_b
+
+        reqs = yield from post_panels(0)
+        for k in range(q):
+            req_a, req_b = reqs
+            t0 = mpi.now
+            got_a = yield from req_a.wait()
+            got_b = yield from req_b.wait()
+            comm_time += mpi.now - t0
+            if config.variant == "ori":
+                panel_a = np.asarray(got_a).reshape(b, b) if data else None
+                panel_b = np.asarray(got_b).reshape(b, b) if data else None
+            else:
+                panel_a = abufs[k % 2].node_view(np.float64)
+                panel_b = bbufs[k % 2].node_view(np.float64)
+                if panel_a is not None:
+                    panel_a = panel_a.reshape(b, b)
+                if panel_b is not None:
+                    panel_b = panel_b.reshape(b, b)
+            if k + 1 < q:
+                reqs = yield from post_panels(k + 1)
+            if data:
+                c += panel_a @ panel_b
+            yield mpi.compute_gemm(b, b, b)
+        total = mpi.now - t_start
+        result = {
+            "total": total,
+            "comm": comm_time,
+            "compute": total - comm_time,
+            "norm": float(np.linalg.norm(c)) if data else None,
+            "row": row,
+            "col": col,
+        }
+        if data and config.verify:
+            result["c"] = c
+            result["a"] = a_own
+            result["b"] = b_own
+        return result
 
     for k in range(q):
         # --- broadcast the k-th A panel along my process row -----------

@@ -15,6 +15,12 @@ Algorithm-selection ablations (the registry's pluggable policies)::
     repro-bench --figure fig9a --algo allgather=ring
     repro-bench --figure fig7 --algo allgather=bruck --algo bcast=binomial
 
+Communication/computation overlap (non-blocking collectives — see
+docs/modeling.md)::
+
+    repro-bench overlap --quick
+    repro-bench overlap --out-json BENCH_overlap.json
+
 Observability (span tracing, metrics, critical path — see
 docs/observability.md)::
 
@@ -243,6 +249,13 @@ def _print_algos() -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "overlap":
+        # Subcommand: the OSU-style overlap benchmark (docs/modeling.md).
+        from repro.bench.overlap import main as overlap_main
+
+        return overlap_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.list_algos:
         _print_algos()

@@ -140,6 +140,16 @@ class SweepPoint:
     payload / fast_path:
         Simulator execution mode knobs (virtual-time results are
         independent of both; they are still part of the cache key).
+    workload:
+        ``"latency"`` (blocking OSU latency, the default) or
+        ``"overlap"`` (the OSU communication/computation overlap
+        protocol of :mod:`repro.bench.overlap`; ``latency_us`` is then
+        the *effective* — exposed — latency).
+    compute_grain:
+        Overlap workload only: the compute grain as a multiple of the
+        blocking latency (1.0 = the OSU default).  Part of the cache
+        key — two overlap points differing only in grain are distinct
+        entries.
 
     >>> p = SweepPoint(machine="testing", counts=(2, 2), nbytes=64)
     >>> p.is_irregular
@@ -161,6 +171,8 @@ class SweepPoint:
     socket_mode: str = "compact"
     payload: str = "cost-only"
     fast_path: bool = True
+    workload: str = "latency"
+    compute_grain: float = 1.0
 
     def __post_init__(self):
         object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
@@ -177,6 +189,10 @@ class SweepPoint:
             raise ValueError("counts must be non-empty positive ints")
         if self.nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        if self.workload not in ("latency", "overlap"):
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.compute_grain < 0:
+            raise ValueError("compute_grain must be non-negative")
 
     # -- derived views ---------------------------------------------------
     @property
@@ -263,6 +279,8 @@ def point_name(point: SweepPoint) -> str:
         name += f"/{point.transport}"
     if point.socket_mode != "compact":
         name += f"/{point.socket_mode}"
+    if point.workload != "latency":
+        name += f"/{point.workload}{point.compute_grain:g}"
     if point.engine != "sim":
         name += f"/{point.engine}"
     return name
@@ -463,11 +481,20 @@ def _run_sim_point(point: SweepPoint) -> dict:
     policy = None
     if point.algo:
         policy = ForcedSelection({point.resolved_op: point.algo})
-    program = (hybrid_allgather_program if point.variant == "hybrid"
-               else pure_allgather_program)
-    kwargs: dict[str, Any] = {"nbytes_per_rank": point.nbytes}
-    if point.variant == "pure" and point.is_irregular:
-        kwargs["irregular"] = True
+    if point.workload == "overlap":
+        from repro.bench.overlap import overlap_program
+
+        program: Any = overlap_program
+        kwargs: dict[str, Any] = {
+            "nbytes": point.nbytes, "variant": point.variant,
+            "compute_factor": point.compute_grain,
+        }
+    else:
+        program = (hybrid_allgather_program if point.variant == "hybrid"
+                   else pure_allgather_program)
+        kwargs = {"nbytes_per_rank": point.nbytes}
+        if point.variant == "pure" and point.is_irregular:
+            kwargs["irregular"] = True
     t0 = time.perf_counter()
     result = run_program(
         point.spec(), None, program,
@@ -478,7 +505,22 @@ def _run_sim_point(point: SweepPoint) -> dict:
         program_kwargs=kwargs,
     )
     wall = time.perf_counter() - t0
-    latency = max(result.returns)
+    extra: dict[str, float] = {}
+    if point.workload == "overlap":
+        t_pure = max(r["pure"] for r in result.returns)
+        t_compute = max(r["compute"] for r in result.returns)
+        t_overall = max(r["overall"] for r in result.returns)
+        latency = max(t_overall - t_compute, 0.0)  # effective (exposed)
+        extra = {
+            "pure_us": t_pure * 1e6,
+            "overall_us": t_overall * 1e6,
+            "compute_us": t_compute * 1e6,
+            "overlap_pct": round(
+                100.0 * (1.0 - latency / t_pure) if t_pure > 0 else 0.0, 2
+            ),
+        }
+    else:
+        latency = max(result.returns)
     events = result.events_processed
     return {
         "latency_us": latency * 1e6,
@@ -488,6 +530,7 @@ def _run_sim_point(point: SweepPoint) -> dict:
         "events_per_s": round(events / wall, 1) if wall > 0 else 0.0,
         "engine": "sim",
         "seed": point_seed(point),
+        **extra,
     }
 
 
@@ -504,7 +547,21 @@ def _run_model_point(point: SweepPoint) -> dict:
     t0 = time.perf_counter()
     model = CostModel(point.spec(), point.counts,
                       socket_mode=point.socket_mode)
-    latency = model.predict(op, algo, point.nbytes)
+    extra: dict[str, float] = {}
+    if point.workload == "overlap":
+        total = model.predict(op, algo, point.nbytes)
+        floor = min(model.predict(op, algo, 1.0), total)
+        grain = total * point.compute_grain
+        latency = floor + max(0.0, (total - floor) - grain)
+        extra = {
+            "pure_us": total * 1e6,
+            "compute_us": grain * 1e6,
+            "overlap_pct": round(
+                100.0 * (total - latency) / total if total > 0 else 0.0, 2
+            ),
+        }
+    else:
+        latency = model.predict(op, algo, point.nbytes)
     wall = time.perf_counter() - t0
     return {
         "latency_us": latency * 1e6,
@@ -514,6 +571,7 @@ def _run_model_point(point: SweepPoint) -> dict:
         "events_per_s": 0.0,
         "engine": "model",
         "seed": point_seed(point),
+        **extra,
     }
 
 
@@ -571,8 +629,8 @@ def cached_latency_us(machine: str, counts: Sequence[int], nbytes: int,
 
 #: Spec keys that may be lists (swept axes).
 _AXES = ("machine", "elements", "nbytes", "variant", "algo", "transport",
-         "socket_mode", "ppn", "engine")
-_SCALARS = ("nodes", "counts", "payload", "fast_path", "op")
+         "socket_mode", "ppn", "engine", "compute_grain")
+_SCALARS = ("nodes", "counts", "payload", "fast_path", "op", "workload")
 
 
 def _listify(value) -> list:
@@ -588,9 +646,11 @@ def expand_spec(spec: dict) -> list[SweepPoint]:
     ``counts`` (explicit per-node rank list) or ``nodes`` + ``ppn``;
     message sizes from ``elements`` (8-byte elements) or ``nbytes``.
     ``machine``, ``elements``/``nbytes``, ``variant``, ``algo``,
-    ``transport``, ``socket_mode``, ``ppn`` and ``engine`` may be
-    lists — the grid is their Cartesian product, in deterministic
-    (input) order.  Unknown keys are rejected.
+    ``transport``, ``socket_mode``, ``ppn``, ``engine`` and
+    ``compute_grain`` may be lists — the grid is their Cartesian
+    product, in deterministic (input) order.  ``workload`` (scalar)
+    switches every point to the overlap protocol.  Unknown keys are
+    rejected.
 
     >>> pts = expand_spec({"machine": "testing", "nodes": 2, "ppn": 2,
     ...                    "elements": [1, 8], "variant": ["hybrid", "pure"]})
@@ -622,6 +682,7 @@ def expand_spec(spec: dict) -> list[SweepPoint]:
     transports = _listify(spec.get("transport", None))
     socket_modes = _listify(spec.get("socket_mode", "compact"))
     engines = _listify(spec.get("engine", "sim"))
+    grains = [float(g) for g in _listify(spec.get("compute_grain", 1.0))]
     if "counts" in spec:
         counts_axis = [tuple(int(c) for c in spec["counts"])]
     else:
@@ -632,15 +693,17 @@ def expand_spec(spec: dict) -> list[SweepPoint]:
 
     points = []
     for machine, counts, transport, socket_mode, nbytes, variant, algo, \
-            engine in itertools.product(
+            engine, grain in itertools.product(
                 machines, counts_axis, transports, socket_modes, sizes,
-                variants, algos, engines):
+                variants, algos, engines, grains):
         points.append(SweepPoint(
             machine=machine, counts=counts, nbytes=nbytes, variant=variant,
             engine=engine, op=spec.get("op"), algo=algo, transport=transport,
             socket_mode=socket_mode,
             payload=spec.get("payload", "cost-only"),
             fast_path=bool(spec.get("fast_path", True)),
+            workload=spec.get("workload", "latency"),
+            compute_grain=grain,
         ))
     return points
 
@@ -904,6 +967,7 @@ def _point_from_args(args) -> SweepPoint:
         machine=args.machine, counts=counts, nbytes=nbytes,
         variant=args.variant, engine=args.engine, algo=args.algo,
         transport=args.transport, socket_mode=args.socket_mode,
+        workload=args.workload, compute_grain=args.compute_grain,
     )
 
 
@@ -1002,6 +1066,12 @@ def _add_point_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--socket-mode", dest="socket_mode",
                         default="compact",
                         choices=Placement.SOCKET_MODES)
+    parser.add_argument("--workload", default="latency",
+                        choices=("latency", "overlap"))
+    parser.add_argument("--compute-grain", dest="compute_grain",
+                        type=float, default=1.0,
+                        help="overlap workload: compute grain as a "
+                             "multiple of the blocking latency")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -266,6 +266,64 @@ class HybridContext:
         )
         return result
 
+    # -- immediate (non-blocking) variants ---------------------------------
+    def _ihy(self, op: str, nbytes: int, gen):
+        """Post a hybrid collective as a background process.
+
+        The returned :class:`~repro.mpi.nonblocking.CollRequest`
+        completes when the collective does; meanwhile the bridge
+        exchange (and the on-node syncs) progress in virtual time while
+        this rank computes — each rank's share of the collective runs in
+        its own background process, so children overlap their compute
+        with the leaders' bridge exchange.  Profiled under *op* with
+        issue-to-completion timing."""
+        from repro.mpi.nonblocking import spawn_collective
+
+        comm = self.comm
+        return spawn_collective(comm, op, comm._collective(op, nbytes, gen))
+
+    def iallgather(self, buf: SharedBuffer, sync: SyncPolicy | None = None,
+                   pipelined: bool | None = None,
+                   chunk_bytes: int = 128 * 1024,
+                   pack_datatypes: bool = False):
+        """Immediate hybrid allgather; wait on the returned request
+        before reading ``buf.node_view()``."""
+        from repro.core.allgather import hy_allgather
+
+        return self._ihy(
+            "hy_iallgather", buf.total_nbytes,
+            hy_allgather(
+                self, buf, sync=sync, pipelined=pipelined,
+                chunk_bytes=chunk_bytes, pack_datatypes=pack_datatypes,
+            ),
+        )
+
+    def ibcast(self, buf: SharedBuffer, root: int = 0,
+               sync: SyncPolicy | None = None):
+        """Immediate hybrid broadcast (the root must have stored its
+        message into ``buf`` *before* posting); wait on the returned
+        request before reading ``buf.node_view()``."""
+        from repro.core.bcast import hy_bcast
+
+        return self._ihy(
+            "hy_ibcast", buf.total_nbytes,
+            hy_bcast(self, buf, root=root, sync=sync),
+        )
+
+    def iallreduce(self, contribution, nbytes: int,
+                   op=None, sync: SyncPolicy | None = None):
+        """Immediate hybrid allreduce; the request's value is the result
+        payload."""
+        from repro.core.reduce import hy_allreduce
+        from repro.mpi.constants import ReduceOp
+
+        return self._ihy(
+            "hy_iallreduce", nbytes,
+            hy_allreduce(
+                self, contribution, nbytes, op or ReduceOp.SUM, sync=sync
+            ),
+        )
+
     def __repr__(self) -> str:
         return (
             f"HybridContext(nodes={self.num_nodes}, "

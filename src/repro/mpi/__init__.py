@@ -36,6 +36,7 @@ from repro.mpi.constants import ANY_SOURCE, ANY_TAG, COMM_TYPE_SHARED, UNDEFINED
 from repro.mpi.datatypes import Bytes, nbytes_of
 from repro.mpi.derived import BYTE, DOUBLE, INT, Contiguous, Indexed, Vector
 from repro.mpi.errors import MPIError, TruncationError
+from repro.mpi.nonblocking import CollRequest
 from repro.mpi.profiler import CommProfile
 from repro.mpi.runtime import JobResult, MPIJob, RankContext, run_program
 
@@ -46,6 +47,7 @@ __all__ = [
     "Bytes",
     "COMM_TYPE_SHARED",
     "CartComm",
+    "CollRequest",
     "CommProfile",
     "Contiguous",
     "DOUBLE",

@@ -29,8 +29,9 @@ from repro.mpi.constants import (
 from repro.mpi.datatypes import nbytes_of
 from repro.mpi.errors import MPIError
 from repro.mpi.group import Group
+from repro.mpi.nonblocking import CollRequest, spawn_collective
 from repro.mpi.p2p import Request, Status
-from repro.simulator import AllOf, Event
+from repro.simulator import AllOf, AnyOf, Event
 
 __all__ = ["Comm"]
 
@@ -297,6 +298,92 @@ class Comm:
         values = yield AllOf([r.event for r in requests])
         return values
 
+    @staticmethod
+    def test(request: Request) -> bool:
+        """True once *request* has completed (never blocks).
+
+        >>> from repro.simulator import Engine, Event
+        >>> from repro.mpi.p2p import Request
+        >>> eng = Engine()
+        >>> req = Request(Event(eng, name="x"), "recv")
+        >>> Comm.test(req)
+        False
+        >>> _ = req.event.succeed(None)
+        >>> Comm.test(req)
+        True
+        """
+        return request.complete
+
+    @staticmethod
+    def testall(requests: list[Request]) -> bool:
+        """True once *every* request has completed (never blocks).
+
+        Like ``MPI_Testall``'s flag; vacuously true for an empty list.
+
+        >>> from repro.simulator import Engine, Event
+        >>> from repro.mpi.p2p import Request
+        >>> eng = Engine()
+        >>> evs = [Event(eng, name=str(i)) for i in range(2)]
+        >>> reqs = [Request(ev, "recv") for ev in evs]
+        >>> Comm.testall(reqs)
+        False
+        >>> _ = evs[0].succeed(None)
+        >>> Comm.testall(reqs)
+        False
+        >>> _ = evs[1].succeed(None)
+        >>> Comm.testall(reqs)
+        True
+        """
+        return all(r.complete for r in requests)
+
+    @staticmethod
+    def waitany(requests: list[Request]):
+        """Coroutine: wait until *one* request completes.
+
+        Returns ``(index, value)`` of the first completion (an already
+        completed request wins immediately, lowest index first).
+
+        >>> from repro.simulator import Engine, Event
+        >>> from repro.mpi.p2p import Request
+        >>> eng = Engine()
+        >>> evs = [Event(eng, name=str(i)) for i in range(2)]
+        >>> reqs = [Request(ev, "recv") for ev in evs]
+        >>> waiter = eng.spawn(Comm.waitany(reqs))
+        >>> _ = evs[1].succeed("halo")
+        >>> eng.run()
+        >>> waiter.value
+        (1, 'halo')
+        """
+        if not requests:
+            raise MPIError("waitany requires at least one request")
+        index, value = yield AnyOf([r.event for r in requests])
+        return index, value
+
+    @staticmethod
+    def waitsome(requests: list[Request]):
+        """Coroutine: wait until *at least one* request completes.
+
+        Returns ``(indices, values)`` of **all** requests complete at
+        that moment, in index order (``MPI_Waitsome``).
+
+        >>> from repro.simulator import Engine, Event
+        >>> from repro.mpi.p2p import Request
+        >>> eng = Engine()
+        >>> evs = [Event(eng, name=str(i)) for i in range(3)]
+        >>> reqs = [Request(ev, "recv") for ev in evs]
+        >>> _ = evs[2].succeed("c")
+        >>> _ = evs[0].succeed("a")
+        >>> waiter = eng.spawn(Comm.waitsome(reqs))
+        >>> eng.run()
+        >>> waiter.value
+        ([0, 2], ['a', 'c'])
+        """
+        if not requests:
+            raise MPIError("waitsome requires at least one request")
+        yield AnyOf([r.event for r in requests])
+        indices = [i for i, r in enumerate(requests) if r.complete]
+        return indices, [requests[i].event.value for i in indices]
+
     # -- collectives ---------------------------------------------------------
     def _next_coll_tag(self) -> int:
         self._coll_seq += 1
@@ -501,26 +588,28 @@ class Comm:
         )
 
     # -- non-blocking collectives ------------------------------------------
-    def _icoll(self, name: str, nbytes: int, gen) -> Request:
+    def _icoll(self, name: str, nbytes: int, gen) -> CollRequest:
         """Spawn a collective as a background process (MPI-3 style).
 
         The spawned generator still runs through :meth:`_collective`, so
         non-blocking collectives appear in the profile under their own
-        ``i``-prefixed op names (time = issue-to-completion span)."""
-        proc = self._ctx.engine.spawn(
-            self._collective(name, nbytes, gen),
-            name=f"{self.name}.{name}@r{self.rank}",
+        ``i``-prefixed op names (time = issue-to-completion span).  The
+        engine interleaves all live processes, so the pending collective
+        progresses whenever this rank is suspended (compute delays
+        included) — asynchronous progress for free.  Span contexts and
+        the ordering rules live in :mod:`repro.mpi.nonblocking`."""
+        return spawn_collective(
+            self, name, self._collective(name, nbytes, gen)
         )
-        return Request(proc, name)
 
-    def ibarrier(self) -> Request:
+    def ibarrier(self) -> CollRequest:
         """Non-blocking barrier; wait on the returned request."""
         return self._icoll(
             "ibarrier", 0,
             _coll.dispatch_barrier(self, self._next_coll_tag()),
         )
 
-    def ibcast(self, payload: Any, root: int = 0) -> Request:
+    def ibcast(self, payload: Any, root: int = 0) -> CollRequest:
         """Non-blocking broadcast; request value is the payload."""
         from repro.mpi.datatypes import nbytes_of
 
@@ -529,7 +618,7 @@ class Comm:
             _coll.dispatch_bcast(self, payload, root, self._next_coll_tag()),
         )
 
-    def iallgather(self, payload: Any) -> Request:
+    def iallgather(self, payload: Any) -> CollRequest:
         """Non-blocking allgather; request value is the payload list."""
         from repro.mpi.datatypes import nbytes_of
 
@@ -538,7 +627,45 @@ class Comm:
             _coll.dispatch_allgather(self, payload, self._next_coll_tag()),
         )
 
-    def iallreduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM) -> Request:
+    def iallgatherv(self, payload: Any) -> CollRequest:
+        """Non-blocking irregular allgather; request value is the list.
+
+        The size-agreement gate runs inside the background process, so
+        issuing never blocks; the profiler still charges the agreed
+        per-rank byte sum, exactly like :meth:`allgatherv`."""
+        from repro.mpi.datatypes import nbytes_of
+
+        tag = self._next_coll_tag()
+        nbytes = nbytes_of(payload)
+
+        def run():
+            if self.size > 1:
+                total = yield from _coll._agree_total(self, nbytes, tag)
+            else:
+                total = nbytes
+            result = yield from self._collective(
+                "iallgatherv", total,
+                _coll.dispatch_allgatherv(self, payload, tag, total=total),
+            )
+            return result
+
+        return spawn_collective(self, "iallgatherv", run())
+
+    def ireduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM,
+                root: int = 0) -> CollRequest:
+        """Non-blocking reduce; request value is the reduction at *root*
+        (None elsewhere)."""
+        from repro.mpi.datatypes import nbytes_of
+
+        return self._icoll(
+            "ireduce", nbytes_of(payload),
+            _coll.dispatch_reduce(
+                self, payload, op, root, self._next_coll_tag()
+            ),
+        )
+
+    def iallreduce(self, payload: Any,
+                   op: ReduceOp = ReduceOp.SUM) -> CollRequest:
         """Non-blocking allreduce; request value is the result."""
         from repro.mpi.datatypes import nbytes_of
 

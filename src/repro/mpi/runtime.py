@@ -103,25 +103,36 @@ class RankContext:
         return self.job.msg_engine
 
     # -- compute charging ------------------------------------------------------
-    def compute(self, seconds: float) -> Event:
+    def compute(self, seconds: float, kind: str = "compute") -> Event:
         """Waitable advancing virtual time by *seconds* of computation.
 
         When the job carries a :class:`~repro.machine.noise.NoiseModel`,
         the charge is perturbed by this rank's deterministic noise
-        stream."""
+        stream.  With compute-span tracing (``trace="phase+compute"``)
+        the charge is recorded as a ``kind="compute"`` span labelled
+        *kind* — the signal the overlap analysis uses to tell hidden
+        from exposed communication time."""
         if self.noise is not None:
             seconds = self.noise.perturb(seconds, self._noise_rng)
+        tracer = self.trace
+        if tracer is not None and tracer.compute:
+            now = self.engine.now
+            rec = tracer.begin({
+                "t": now, "rank": self.world_rank,
+                "kind": "compute", "op": kind,
+            })
+            tracer.end(rec, now + seconds)
         return self.engine.timeout(seconds)
 
     def compute_flops(self, flops: float, kind: str = "default") -> Event:
         """Waitable charging *flops* of kernel class *kind* (noise-aware)."""
         model = self.machine.spec.compute
-        return self.compute(model.flops_time(flops, kind))
+        return self.compute(model.flops_time(flops, kind), kind=kind)
 
     def compute_gemm(self, m: int, n: int, k: int) -> Event:
         """Waitable charging one local dense GEMM (noise-aware)."""
         model = self.machine.spec.compute
-        return self.compute(model.gemm_time(m, n, k))
+        return self.compute(model.gemm_time(m, n, k), kind="gemm")
 
     def touch(self, nbytes: float):
         """Coroutine: stream *nbytes* through this rank's memory system
@@ -250,11 +261,18 @@ class MPIJob:
             )
         self.machine.bind_placement(self.placement)
         # trace: False -> off; True -> dispatch spans; a detail-level name
-        # ("dispatch"/"phase"/"p2p") or a Tracer -> that configuration.
+        # ("dispatch"/"phase"/"p2p", optionally with a "+compute" suffix
+        # for compute-charge spans) or a Tracer -> that configuration.
         if isinstance(trace, Tracer):
             self.tracer: Tracer | None = trace
         elif isinstance(trace, str):
-            self.tracer = Tracer(detail=trace)
+            detail, _, modifier = trace.partition("+")
+            if modifier not in ("", "compute"):
+                raise ValueError(
+                    f"unknown trace modifier {modifier!r} "
+                    "(only '+compute' is recognized)"
+                )
+            self.tracer = Tracer(detail=detail, compute=bool(modifier))
         else:
             self.tracer = Tracer() if trace else None
         self.msg_engine = MessageEngine(

@@ -10,8 +10,18 @@ instance) collect structured records in virtual time:
   barrier/flag sync, on-node broadcast/copy-out (detail ``"phase"``);
 * **p2p spans and queue waits** — individual send/recv waits and
   receive matching delays (detail ``"p2p"``);
+* **compute spans** — per compute charge (``kind="compute"``), enabled
+  by the orthogonal ``compute=True`` flag (``trace="phase+compute"`` on
+  a job) — the ingredient the hidden-vs-exposed overlap analysis of
+  :mod:`repro.analysis.critical_path` needs;
 * **instant events** — the pre-span record shape, still accepted
   everywhere for backward compatibility.
+
+Non-blocking collectives run as background processes in their own span
+*context*: their spans nest among themselves (the dispatch span covers
+issue → completion) and never mis-nest with spans the issuing rank
+program opens meanwhile; :func:`to_chrome_trace` renders such
+temporally-overlapping spans on separate per-rank rows.
 
 This module turns those records into:
 
@@ -90,9 +100,12 @@ class Tracer:
         duration in virtual seconds (None while the span is open).
     """
 
-    __slots__ = ("detail", "records", "_level", "_next_sid", "_open")
+    __slots__ = (
+        "detail", "records", "compute", "_level", "_next_sid", "_open",
+        "_active_ctx", "_ctx_of_sid", "_next_ctx",
+    )
 
-    def __init__(self, detail: str = "dispatch"):
+    def __init__(self, detail: str = "dispatch", compute: bool = False):
         try:
             self._level = DETAIL_LEVELS[detail]
         except KeyError:
@@ -101,12 +114,26 @@ class Tracer:
                 f"unknown trace detail {detail!r}; known: {known}"
             ) from None
         self.detail = detail
+        self.compute = compute
         self.records: list[dict] = []
         self._next_sid = 0
-        self._open: dict[int, list[dict]] = {}
+        # Open-span stacks keyed by (rank, context).  Context 0 is the
+        # rank program; every background non-blocking collective runs in
+        # its own context (see run_in_context) so concurrent spans on one
+        # rank nest within their own tree instead of corrupting each
+        # other's parent/depth bookkeeping.
+        self._open: dict[tuple[int, int], list[dict]] = {}
+        self._active_ctx: dict[int, int] = {}
+        self._ctx_of_sid: dict[int, tuple[int, int]] = {}
+        self._next_ctx = 0
 
     def wants(self, level: str) -> bool:
-        """True when records of *level* should be collected."""
+        """True when records of *level* should be collected.
+
+        ``"compute"`` is an orthogonal flag (compute-charge spans), not a
+        member of the detail ladder."""
+        if level == "compute":
+            return self.compute
         return DETAIL_LEVELS[level] <= self._level
 
     def append(self, rec: dict) -> None:
@@ -120,23 +147,64 @@ class Tracer:
         order = begin order) with ``dur=None`` until :meth:`end`.
         """
         self._next_sid += 1
-        stack = self._open.setdefault(rec["rank"], [])
+        rank = rec["rank"]
+        key = (rank, self._active_ctx.get(rank, 0))
+        stack = self._open.setdefault(key, [])
         rec["sid"] = self._next_sid
         rec["parent"] = stack[-1]["sid"] if stack else None
         rec["depth"] = len(stack)
         rec["dur"] = None
         stack.append(rec)
+        self._ctx_of_sid[self._next_sid] = key
         self.records.append(rec)
         return rec
 
     def end(self, rec: dict, t: float) -> None:
         """Close a span opened by :meth:`begin` at virtual time *t*."""
         rec["dur"] = t - rec["t"]
-        stack = self._open.get(rec["rank"], [])
+        key = self._ctx_of_sid.pop(rec["sid"], (rec["rank"], 0))
+        stack = self._open.get(key, [])
         for i in range(len(stack) - 1, -1, -1):
             if stack[i] is rec:
                 del stack[i]
                 break
+
+    def run_in_context(self, rank: int, gen):
+        """Delegating generator driving *gen* inside a fresh span context.
+
+        Every resume of the wrapped generator runs with the fresh context
+        active for *rank*, so spans it begins (and ends) use their own
+        open-span stack; while it is suspended the rank's previous
+        context is restored.  Used for background non-blocking
+        collectives — their dispatch span then covers issue to
+        completion with correct internal nesting, and the issuing rank
+        program's own spans never become accidental parents/children of
+        the background tree.
+        """
+        self._next_ctx += 1
+        ctx_id = self._next_ctx
+        active = self._active_ctx
+        value: Any = None
+        exc: BaseException | None = None
+        while True:
+            outer = active.get(rank, 0)
+            active[rank] = ctx_id
+            try:
+                if exc is not None:
+                    item = gen.throw(exc)
+                else:
+                    item = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            finally:
+                if outer:
+                    active[rank] = outer
+                else:
+                    active.pop(rank, None)
+            try:
+                value, exc = (yield item), None
+            except BaseException as e:  # forwarded to gen on next resume
+                value, exc = None, e
 
     def __len__(self) -> int:
         return len(self.records)
@@ -183,7 +251,45 @@ def _event_name(rec: dict) -> str:
         return f"p2p.{rec['op']}"
     if kind == "shm":
         return f"shm.{rec['op']}"
+    if kind == "compute":
+        return f"compute:{rec['op']}"
     return kind
+
+
+def _assign_tracks(trace: list[dict]) -> tuple[dict[int, int], int]:
+    """Map span ``sid`` → display track, lifting overlapped spans.
+
+    Top-level spans of one rank normally run back-to-back (track 0).
+    When a span *starts* while an earlier top-level span of the same
+    rank is still open — a pending non-blocking collective overlapping
+    the rank program — the later span takes the lowest free track, so
+    Chrome/Perfetto renders the two concurrently instead of mis-nesting
+    them.  Child spans inherit their root's track.  Returns the map and
+    the highest track used (0 = no overlap anywhere).
+    """
+    track_of: dict[int, int] = {}
+    live_of: dict[int, list[tuple[float, int]]] = {}
+    max_track = 0
+    for rec in trace:
+        sid = rec.get("sid")
+        if sid is None or rec.get("dur") is None:
+            continue
+        parent = rec.get("parent")
+        if parent is not None:
+            track_of[sid] = track_of.get(parent, 0)
+            continue
+        rank, t = rec["rank"], rec["t"]
+        live = [(e, k) for (e, k) in live_of.get(rank, ()) if e > t]
+        used = {k for _e, k in live}
+        track = 0
+        while track in used:
+            track += 1
+        live.append((t + rec["dur"], track))
+        live_of[rank] = live
+        track_of[sid] = track
+        if track > max_track:
+            max_track = track
+    return track_of, max_track
 
 
 def to_chrome_trace(trace: list[dict]) -> dict:
@@ -193,9 +299,17 @@ def to_chrome_trace(trace: list[dict]) -> dict:
     (``"ph": "X"``) events; instant records (and spans left open by a
     crashed run) become thread-scoped instant (``"ph": "i"``) events.
     One row (``tid``) per rank, metadata rows naming each rank last.
-    Load the result in ``chrome://tracing`` or https://ui.perfetto.dev.
-    Timestamps are microseconds (the format's convention).
+    Overlapped spans — a non-blocking collective still pending while the
+    rank runs on — are lifted onto extra per-rank rows
+    (``rank N (overlap K)``) so they render concurrently; traces without
+    overlap are unchanged.  Load the result in ``chrome://tracing`` or
+    https://ui.perfetto.dev.  Timestamps are microseconds (the format's
+    convention).
     """
+    track_of, max_track = _assign_tracks(trace)
+    ranks = sorted({rec["rank"] for rec in trace})
+    stride = (max(ranks) + 1) if ranks else 1
+    lifted: set[tuple[int, int]] = set()
     events: list[dict[str, Any]] = []
     for rec in trace:
         args = {
@@ -205,11 +319,14 @@ def to_chrome_trace(trace: list[dict]) -> dict:
             if k in rec
         }
         args.setdefault("kind", _kind(rec))
+        track = track_of.get(rec.get("sid"), 0)
+        if track:
+            lifted.add((rec["rank"], track))
         event: dict[str, Any] = {
             "name": _event_name(rec),
             "ts": rec["t"] * 1e6,
             "pid": 0,
-            "tid": rec["rank"],
+            "tid": rec["rank"] + track * stride,
             "args": args,
         }
         if rec.get("dur") is not None:
@@ -219,7 +336,6 @@ def to_chrome_trace(trace: list[dict]) -> dict:
             event["ph"] = "i"
             event["s"] = "t"  # thread scoped
         events.append(event)
-    ranks = sorted({rec["rank"] for rec in trace})
     for rank in ranks:
         events.append(
             {
@@ -228,6 +344,16 @@ def to_chrome_trace(trace: list[dict]) -> dict:
                 "pid": 0,
                 "tid": rank,
                 "args": {"name": f"rank {rank}"},
+            }
+        )
+    for rank, track in sorted(lifted):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank + track * stride,
+                "args": {"name": f"rank {rank} (overlap {track})"},
             }
         )
     return {"traceEvents": events, "displayTimeUnit": "ms"}

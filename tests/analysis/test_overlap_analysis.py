@@ -1,0 +1,106 @@
+"""Hidden/exposed communication analysis and the model's overlap form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.critical_path import (
+    format_overlap_report,
+    overlap_report,
+)
+from repro.analysis.model import predict_overlap
+from repro.apps.summa import SummaConfig, summa_program
+from repro.machine import presets
+from repro.machine.placement import Placement
+from repro.mpi.runtime import run_program
+
+
+def _traced_summa(overlap: bool):
+    spec = presets.hazel_hen(num_nodes=4)
+    cfg = SummaConfig(block=128, variant="ori", overlap=overlap)
+    return run_program(
+        spec, 16, summa_program, payload="cost-only",
+        placement=Placement.block(4, 4), trace="dispatch+compute",
+        program_kwargs={"config": cfg},
+    )
+
+
+class TestOverlapReport:
+    @pytest.fixture(scope="class")
+    def blocking(self):
+        return _traced_summa(overlap=False)
+
+    @pytest.fixture(scope="class")
+    def overlapped(self):
+        return _traced_summa(overlap=True)
+
+    def test_blocking_run_hides_nothing(self, blocking):
+        rep = overlap_report(blocking.trace, total_time=blocking.elapsed)
+        assert rep.hidden == pytest.approx(0.0, abs=1e-12)
+        assert rep.exposed == pytest.approx(rep.comm)
+        assert rep.overlap_pct == pytest.approx(0.0, abs=1e-6)
+
+    def test_overlap_run_hides_communication(self, blocking, overlapped):
+        rep = overlap_report(overlapped.trace,
+                             total_time=overlapped.elapsed)
+        assert rep.hidden > 0
+        assert rep.overlap_pct > 50.0
+        assert rep.hidden + rep.exposed == pytest.approx(rep.comm)
+        # Hiding communication is why the run got faster.
+        assert overlapped.elapsed < blocking.elapsed
+
+    def test_per_rank_consistency(self, overlapped):
+        rep = overlap_report(overlapped.trace)
+        assert len(rep.per_rank) == 16
+        for stats in rep.per_rank.values():
+            assert stats["hidden"] >= 0
+            assert stats["exposed"] >= -1e-12
+            assert stats["hidden"] <= stats["compute"] + 1e-12
+            assert (stats["hidden"] + stats["exposed"]
+                    == pytest.approx(stats["comm"]))
+
+    def test_format(self, overlapped):
+        rep = overlap_report(overlapped.trace)
+        text = format_overlap_report(rep)
+        assert "overlap:" in text
+        assert text.count("\n") >= 16  # header + one row per rank
+
+    def test_empty_trace(self):
+        rep = overlap_report([])
+        assert rep.rank == -1
+        assert rep.comm == 0.0 and rep.hidden == 0.0
+
+
+class TestPredictOverlap:
+    ARGS = ("hazel_hen", None, "hy_allgather", "shared_window", 16, 4,
+            64 * 1024)
+
+    def test_bounds(self):
+        out = predict_overlap(*self.ARGS)
+        assert 0.0 <= out["exposed_s"] <= out["total_s"]
+        assert out["hidden_s"] == pytest.approx(
+            out["total_s"] - out["exposed_s"]
+        )
+        assert 0.0 <= out["overlap_pct"] <= 100.0
+
+    def test_monotone_in_compute_grain(self):
+        total = predict_overlap(*self.ARGS)["total_s"]
+        exposed = [
+            predict_overlap(*self.ARGS, compute_s=total * f)["exposed_s"]
+            for f in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert exposed == sorted(exposed, reverse=True)
+        # No compute at all -> everything is exposed.
+        assert exposed[0] == pytest.approx(total)
+
+    def test_alpha_floor_never_hidden(self):
+        out = predict_overlap(*self.ARGS, compute_s=1.0)  # a full second
+        assert out["exposed_s"] > 0
+        assert out["exposed_s"] < out["total_s"]
+
+    def test_matches_simulated_latency(self):
+        """The blocking total equals the simulator's hybrid latency for
+        the same config (the committed BENCH_overlap hybrid/64KiB
+        point), so the overlap split starts from a conformant base."""
+        out = predict_overlap(*self.ARGS)
+        assert out["total_s"] * 1e6 == pytest.approx(93.52, rel=0.05)

@@ -104,3 +104,29 @@ class TestSweepKernel:
         up = np.ones(3)
         out = _jacobi_sweep(interior, up, None)
         assert out[0, 1] == pytest.approx(0.25)
+
+
+class TestOverlap:
+    @pytest.mark.parametrize("variant", ["pure", "hybrid"])
+    def test_overlap_checksum_matches_blocking(self, variant):
+        checksums = {}
+        for overlap in (False, True):
+            cfg = StencilConfig(rows_per_rank=8, cols=16, iterations=4,
+                                variant=variant, overlap=overlap)
+            res = run(stencil_program, nodes=2, cores=2, nprocs=4,
+                      program_kwargs={"config": cfg})
+            checksums[overlap] = [r["checksum"] for r in res.returns]
+        assert checksums[False] == checksums[True]
+
+    @pytest.mark.parametrize("variant", ["pure", "hybrid"])
+    def test_overlap_no_slower_in_model_mode(self, variant):
+        def total(overlap):
+            cfg = StencilConfig(rows_per_rank=256, cols=2048,
+                                iterations=4, variant=variant,
+                                overlap=overlap)
+            res = run(stencil_program, nodes=2, cores=4, nprocs=8,
+                      payload_mode="model",
+                      program_kwargs={"config": cfg})
+            return max(r["total"] for r in res.returns)
+
+        assert total(True) <= total(False)

@@ -85,3 +85,28 @@ class TestVariantBehaviour:
         res = run(stencil2d_program, nodes=1, cores=6, nprocs=6,
                   program_kwargs={"config": cfg})
         assert all(r["dims"] == (3, 2) for r in res.returns)
+
+
+class TestOverlap:
+    @pytest.mark.parametrize("variant", ["pure", "hybrid"])
+    def test_overlap_checksum_matches_blocking(self, variant):
+        checksums = {}
+        for overlap in (False, True):
+            cfg = Stencil2DConfig(tile=8, iterations=3, variant=variant,
+                                  overlap=overlap)
+            res = run(stencil2d_program, nodes=2, cores=2, nprocs=4,
+                      program_kwargs={"config": cfg})
+            checksums[overlap] = [r["checksum"] for r in res.returns]
+        assert checksums[False] == checksums[True]
+
+    @pytest.mark.parametrize("variant", ["pure", "hybrid"])
+    def test_overlap_no_slower_in_model_mode(self, variant):
+        def total(overlap):
+            cfg = Stencil2DConfig(tile=64, iterations=3, variant=variant,
+                                  overlap=overlap)
+            res = run(stencil2d_program, nodes=2, cores=4, nprocs=8,
+                      payload_mode="model",
+                      program_kwargs={"config": cfg})
+            return max(r["total"] for r in res.returns)
+
+        assert total(True) <= total(False)

@@ -84,3 +84,46 @@ class TestModelMode:
             return max(r["total"] for r in res.returns)
 
         assert total("hybrid") < total("ori")
+
+
+class TestOverlap:
+    @pytest.mark.parametrize("variant", ["ori", "hybrid"])
+    def test_overlap_product_matches_numpy(self, variant):
+        cfg = SummaConfig(block=5, variant=variant, verify=True,
+                          overlap=True)
+        res = run(summa_program, nodes=2, cores=2, nprocs=4,
+                  program_kwargs={"config": cfg})
+        assert verify_summa(res.returns, 2, 5)
+
+    @pytest.mark.parametrize("variant", ["ori", "hybrid"])
+    def test_overlap_matches_blocking_result(self, variant):
+        results = {}
+        for overlap in (False, True):
+            cfg = SummaConfig(block=6, variant=variant, verify=True,
+                              overlap=overlap)
+            res = run(summa_program, nodes=2, cores=2, nprocs=4,
+                      program_kwargs={"config": cfg})
+            results[overlap] = np.concatenate(
+                [r["c"].reshape(-1) for r in res.returns]
+            )
+        np.testing.assert_allclose(results[False], results[True],
+                                   atol=1e-10)
+
+    @pytest.mark.parametrize("variant", ["ori", "hybrid"])
+    def test_overlap_is_faster_in_model_mode(self, variant):
+        def total(overlap):
+            cfg = SummaConfig(block=64, variant=variant, overlap=overlap)
+            res = run(summa_program, nodes=4, cores=4, nprocs=16,
+                      payload_mode="model",
+                      program_kwargs={"config": cfg})
+            return max(r["total"] for r in res.returns)
+
+        assert total(True) < total(False)
+
+    def test_overlap_reports_exposed_comm_only(self):
+        cfg = SummaConfig(block=64, variant="ori", overlap=True)
+        res = run(summa_program, nodes=4, cores=4, nprocs=16,
+                  payload_mode="model", program_kwargs={"config": cfg})
+        for r in res.returns:
+            assert r["total"] >= r["comm"] >= 0
+            assert r["compute"] >= 0

@@ -1,0 +1,289 @@
+"""Non-blocking collective requests and the overlap progress model.
+
+Covers the :class:`repro.mpi.nonblocking.CollRequest` machinery: the
+request-completion helpers (``test``/``testall``/``waitany``/
+``waitsome``), the new ``ireduce``/``iallgatherv`` immediate
+collectives, actual communication/computation overlap in virtual time,
+the hybrid ``HybridContext.i*`` variants, and the tracer-context span
+bookkeeping for concurrent collectives (including the Chrome-trace
+track lifting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HybridContext
+from repro.mpi import CollRequest, MPIError
+from repro.mpi.constants import ReduceOp
+from repro.mpi.datatypes import Bytes
+from repro.trace import to_chrome_trace
+from tests.helpers import run
+
+
+class TestRequestHelpers:
+    def test_test_and_testall(self):
+        def program(mpi):
+            comm = mpi.world
+            reqs = [comm.ibarrier(), comm.ibarrier()]
+            assert isinstance(reqs[0], CollRequest)
+            states = [comm.test(r) for r in reqs]
+            assert comm.testall([]) is True  # vacuous
+            yield from comm.waitall(reqs)
+            assert comm.testall(reqs) is True
+            assert all(comm.test(r) for r in reqs)
+            return states
+
+        res = run(program, nodes=1, cores=4)
+        # Before any wait the requests had not completed.
+        assert all(st == [False, False] for st in res.returns)
+
+    def test_waitany_returns_first_complete(self):
+        def program(mpi):
+            comm = mpi.world
+            slow = comm.iallgather(Bytes(512 * 1024))
+            fast = comm.ibarrier()
+            idx, _value = yield from comm.waitany([slow, fast])
+            # The barrier is cheaper and completes first.
+            yield from comm.waitall([slow, fast])
+            return idx
+
+        res = run(program, nodes=2, cores=2)
+        assert all(idx == 1 for idx in res.returns)
+
+    def test_waitsome_returns_all_complete(self):
+        def program(mpi):
+            comm = mpi.world
+            reqs = [comm.ibarrier(), comm.ibarrier(), comm.ibarrier()]
+            indices, values = yield from comm.waitsome(reqs)
+            yield from comm.waitall(reqs)
+            return (indices, len(values))
+
+        res = run(program, nodes=1, cores=4)
+        for indices, nvalues in res.returns:
+            assert indices and len(indices) == nvalues
+            assert indices == sorted(indices)
+
+    def test_empty_lists_raise(self):
+        def program(mpi):
+            comm = mpi.world
+            with pytest.raises(MPIError):
+                yield from comm.waitany([])
+            with pytest.raises(MPIError):
+                yield from comm.waitsome([])
+            yield from comm.barrier()
+            return True
+
+        assert all(run(program, nodes=1, cores=2).returns)
+
+
+class TestNewImmediates:
+    def test_ireduce_matches_reduce(self):
+        def program(mpi):
+            comm = mpi.world
+            data = np.full(4, float(comm.rank + 1))
+            blocking = yield from comm.reduce(data.copy(), root=1)
+            req = comm.ireduce(data.copy(), op=ReduceOp.SUM, root=1)
+            immediate = yield from req.wait()
+            if comm.rank == 1:
+                np.testing.assert_allclose(immediate, blocking)
+                return float(np.sum(immediate))
+            return None
+
+        res = run(program, nodes=2, cores=2)
+        expected = 4 * (1 + 2 + 3 + 4)
+        assert res.returns[1] == pytest.approx(expected)
+
+    def test_iallgatherv_matches_allgatherv(self):
+        def program(mpi):
+            comm = mpi.world
+            mine = np.full(comm.rank + 1, float(comm.rank))
+            blocking = yield from comm.allgatherv(mine.copy())
+            req = comm.iallgatherv(mine.copy())
+            immediate = yield from req.wait()
+            for a, b in zip(immediate, blocking):
+                np.testing.assert_allclose(a, b)
+            return [len(part) for part in immediate]
+
+        res = run(program, nodes=2, cores=2)
+        assert all(lens == [1, 2, 3, 4] for lens in res.returns)
+
+
+class TestOverlapProgress:
+    def test_collective_progresses_during_compute(self):
+        """i-op + compute + wait is cheaper than op + compute."""
+        nbytes = 256 * 1024
+
+        def blocking(mpi):
+            comm = mpi.world
+            yield from comm.allgather(Bytes(nbytes))
+            yield mpi.compute(20e-6)
+            return mpi.now
+
+        def overlapped(mpi):
+            comm = mpi.world
+            req = comm.iallgather(Bytes(nbytes))
+            yield mpi.compute(20e-6)
+            yield from req.wait()
+            return mpi.now
+
+        base = run(blocking, nodes=2, cores=4, payload="cost-only")
+        over = run(overlapped, nodes=2, cores=4, payload="cost-only")
+        assert over.elapsed < base.elapsed
+
+    def test_hybrid_immediate_overlaps_bridge_exchange(self):
+        nbytes = 64 * 1024
+
+        def blocking(mpi):
+            ctx = yield from HybridContext.create(mpi.world)
+            buf = yield from ctx.allgather_buffer(nbytes)
+            yield from ctx.allgather(buf)
+            yield mpi.compute(20e-6)
+            return mpi.now
+
+        def overlapped(mpi):
+            ctx = yield from HybridContext.create(mpi.world)
+            buf = yield from ctx.allgather_buffer(nbytes)
+            req = ctx.iallgather(buf)
+            yield mpi.compute(20e-6)
+            yield from req.wait()
+            return mpi.now
+
+        base = run(blocking, nodes=4, cores=4, payload="cost-only")
+        over = run(overlapped, nodes=4, cores=4, payload="cost-only")
+        assert over.elapsed < base.elapsed
+
+    def test_hybrid_immediate_data_correct(self):
+        nbytes = 8 * 8
+
+        def program(mpi):
+            ctx = yield from HybridContext.create(mpi.world)
+            buf = yield from ctx.allgather_buffer(nbytes)
+            view = buf.local_view(np.float64)
+            if view is not None:
+                view[:] = float(mpi.world.rank)
+            req = ctx.iallgather(buf)
+            yield from req.wait()
+            gathered = buf.node_view(np.float64)
+            return None if gathered is None else float(gathered.sum())
+
+        res = run(program, nodes=2, cores=2)
+        expected = 8 * (0 + 1 + 2 + 3)
+        assert all(r == pytest.approx(expected) for r in res.returns)
+
+
+class TestSpanContexts:
+    def test_wait_later_spans_nest_correctly(self):
+        """A request completed by a later wait keeps its own span stack:
+        spans opened by the background collective never become parents
+        of the rank's own subsequent spans (the satellite-2 fix)."""
+        def program(mpi):
+            comm = mpi.world
+            req = comm.iallgather(Bytes(64 * 1024))
+            yield from comm.barrier()  # runs while the iallgather is open
+            yield from req.wait()
+            return True
+
+        res = run(program, nodes=2, cores=2, payload="cost-only",
+                  trace="dispatch")
+        spans = [r for r in res.trace if r.get("dur") is not None]
+        by_sid = {r["sid"]: r for r in spans}
+        for rec in spans:
+            parent = rec.get("parent")
+            if parent is None:
+                continue
+            # A span's parent must temporally contain it.
+            p = by_sid[parent]
+            assert p["t"] <= rec["t"]
+            assert p["t"] + p["dur"] >= rec["t"] + rec["dur"]
+        # The barrier dispatch must be top-level, not a child of the
+        # concurrently-open iallgather.
+        barriers = [r for r in spans if r.get("op") == "barrier"]
+        assert barriers and all(r["parent"] is None for r in barriers)
+
+    def test_dispatch_span_covers_post_to_completion(self):
+        def program(mpi):
+            comm = mpi.world
+            t_post = mpi.now
+            req = comm.iallgather(Bytes(64 * 1024))
+            yield mpi.compute(30e-6)
+            yield from req.wait()
+            return (t_post, mpi.now)
+
+        res = run(program, nodes=2, cores=2, payload="cost-only",
+                  trace="dispatch")
+        # The dispatch span keeps the blocking op name ("allgather") so
+        # immediate-wait span streams stay bit-identical to blocking.
+        tops = [r for r in res.trace
+                if r.get("op") == "allgather" and r["parent"] is None]
+        assert len(tops) == 4
+        for rec in tops:
+            t_post, t_done = res.returns[rec["rank"]]
+            # Opens at post (+ the dispatch-entry overhead, same as a
+            # blocking call) and stays open until completion — well past
+            # the 30 us compute window, not closed at post time.
+            assert t_post <= rec["t"] < t_post + 5e-6
+            assert rec["t"] + rec["dur"] > t_post + 30e-6
+            assert rec["t"] + rec["dur"] <= t_done
+
+    def test_chrome_trace_lifts_concurrent_spans(self):
+        def program(mpi):
+            comm = mpi.world
+            req = comm.iallgather(Bytes(256 * 1024))
+            yield from comm.barrier()
+            yield from req.wait()
+            return True
+
+        res = run(program, nodes=2, cores=2, payload="cost-only",
+                  trace="dispatch")
+        doc = to_chrome_trace(res.trace)
+        names = [e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M"]
+        assert any("overlap" in n for n in names)
+
+    def test_chrome_trace_unchanged_without_concurrency(self):
+        def program(mpi):
+            yield from mpi.world.allgather(Bytes(1024))
+            return True
+
+        res = run(program, nodes=2, cores=2, payload="cost-only",
+                  trace="dispatch")
+        doc = to_chrome_trace(res.trace)
+        names = [e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M"]
+        assert not any("overlap" in n for n in names)
+
+
+class TestComputeSpans:
+    def test_compute_modifier_records_compute_spans(self):
+        def program(mpi):
+            yield mpi.compute_flops(1e6, kind="blas1")
+            yield from mpi.world.barrier()
+            return True
+
+        res = run(program, nodes=1, cores=2, payload="cost-only",
+                  trace="dispatch+compute")
+        kinds = {r.get("kind") for r in res.trace}
+        assert "compute" in kinds
+        compute = [r for r in res.trace if r.get("kind") == "compute"]
+        assert all(r["dur"] > 0 for r in compute)
+        assert all(r["op"] == "blas1" for r in compute)
+
+    def test_default_trace_has_no_compute_spans(self):
+        def program(mpi):
+            yield mpi.compute_flops(1e6, kind="blas1")
+            yield from mpi.world.barrier()
+            return True
+
+        res = run(program, nodes=1, cores=2, payload="cost-only",
+                  trace="dispatch")
+        assert all(r.get("kind") != "compute" for r in res.trace)
+
+    def test_bad_trace_modifier_rejected(self):
+        def program(mpi):
+            yield from mpi.world.barrier()
+            return True
+
+        with pytest.raises(ValueError):
+            run(program, nodes=1, cores=2, trace="dispatch+bogus")
