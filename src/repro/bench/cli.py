@@ -76,9 +76,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--reps", type=int, metavar="N",
         help=(
-            "timed repetitions per OSU measurement (default 1; the "
-            "simulator is deterministic, so more reps only average away "
-            "the paper's measurement protocol, not noise)"
+            "timed repetitions per OSU measurement (default 50; the "
+            "replay cache memoizes the aligned repetitions, so extra "
+            "reps cost O(ranks) each instead of a full re-simulation)"
         ),
     )
     parser.add_argument(

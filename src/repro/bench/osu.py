@@ -1,12 +1,22 @@
 """OSU-micro-benchmark-style latency measurement (paper §5).
 
 The paper's micro experiments are "modified from the OSU benchmark and
-averaged over 10000 executions": warm-up iterations, then a barrier-
-delimited timed loop, reporting the mean per-operation latency of the
-slowest rank.  The simulator is deterministic, so a handful of timed
-repetitions converges exactly; we keep the warm-up because the first
-iteration includes one-off costs (window allocation, hierarchy splits)
-the paper explicitly excludes from timing.
+averaged over 10000 executions": warm-up iterations, then a timed loop
+with the ranks realigned before every repetition, reporting the mean
+per-operation latency of the slowest rank.  The realignment uses
+:meth:`~repro.mpi.comm.Comm.align` — a zero-virtual-cost rendezvous
+standing in for the real benchmark's inter-repetition barrier, so the
+measured latency is the collective alone, not the barrier.  We keep the
+warm-up because the first iteration includes one-off costs (window
+allocation, hierarchy splits) the paper explicitly excludes from
+timing.
+
+Aligned repetitions make the timed loop a sequence of byte-identical
+dispatches from simultaneous entries — exactly the shape the replay
+cache (:mod:`repro.mpi.collectives.replay`) memoizes, so bench runs
+default to ``replay="loop"`` and simulate each distinct collective
+roughly twice regardless of the repetition count.  Virtual-time results
+are bit-identical with replay off (the equivalence suite asserts it).
 """
 
 from __future__ import annotations
@@ -26,13 +36,15 @@ __all__ = [
     "pure_allgather_program",
 ]
 
-#: Timed repetitions.  The engine is deterministic, so one repetition
-#: equals the mean of the paper's 10000; the warm-up still matters (it
-#: absorbs the one-off hierarchy/window setup the paper excludes).
-#: ``repro-bench --reps/--warmup`` overrides these module-wide, which is
-#: why the programs below resolve ``None`` here at call time instead of
-#: binding the values as signature defaults.
-DEFAULT_REPS = 1
+#: Timed repetitions.  The engine is deterministic, so repetitions do
+#: not average out noise — but a multi-rep loop exercises the steady
+#: state (and the replay cache makes repetitions nearly free: every
+#: aligned repetition after the first is a cache hit, so 50 reps cost
+#: about as much simulation as 2).  ``repro-bench --reps/--warmup``
+#: overrides these module-wide, which is why the programs below resolve
+#: ``None`` here at call time instead of binding the values as
+#: signature defaults.
+DEFAULT_REPS = 50
 #: Warm-up repetitions excluded from timing (one-off setup amortization).
 DEFAULT_WARMUP = 1
 
@@ -52,12 +64,17 @@ def osu_latency_program(mpi, op: Callable, reps: int | None = None,
     comm = mpi.world
     for _ in range(warmup):
         yield from op(mpi)
-    yield from comm.barrier()
-    t0 = mpi.now
+    # Align-delimited repetitions: every rep starts from a simultaneous
+    # entry (replay-cacheable), and only the collective itself is timed.
+    # Nothing but the align may sit between a rep's end and the next
+    # align — replay's loop mode relies on that (see ReplaySession).
+    total = 0.0
     for _ in range(reps):
+        yield from comm.align()
+        t0 = mpi.now
         yield from op(mpi)
-    elapsed = mpi.now - t0
-    return elapsed / reps
+        total += mpi.now - t0
+    return total / reps
 
 
 def hybrid_allgather_program(mpi, nbytes_per_rank: int,
@@ -114,6 +131,7 @@ def osu_allgather_latency(
     payload: str = "cost-only",
     fast_path: bool = True,
     policy=None,
+    replay: bool | str = "loop",
     **options: Any,
 ) -> float:
     """Measure one (machine, placement, size, variant) point.
@@ -125,6 +143,9 @@ def osu_allgather_latency(
     equivalence tests assert identical latencies across modes).
     *policy* overrides the collective selection policy (e.g. a
     ``ForcedSelection`` pinning the bridge-exchange variant).
+    *replay* defaults to the replay cache's loop mode — the aligned OSU
+    loop is exactly the discipline it requires, and results are
+    bit-identical to ``replay=False`` (the equivalence suite pins this).
     """
     if variant == "hybrid":
         program, kwargs = hybrid_allgather_program, {
@@ -144,6 +165,7 @@ def osu_allgather_latency(
         payload=payload,
         fast_path=fast_path,
         policy=policy,
+        replay=replay,
         program_kwargs=kwargs,
     )
     return max(result.returns)

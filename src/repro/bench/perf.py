@@ -4,8 +4,8 @@ Measures how fast the *simulator itself* runs — wall-clock seconds and
 events/second — on the canonical Fig 7/9/10 allgather configurations,
 and writes one ``BENCH_<label>.json`` per figure.  The committed BENCH
 files at the repository root carry the before/after numbers of the
-fast-path work (see docs/performance.md); CI re-runs the quick sweep and
-gates on events/second against them.
+replay-cache work (see docs/performance.md); CI re-runs the quick sweep
+and gates on events/second against them.
 
 Virtual-time results (latencies, event counts) are independent of the
 payload mode and scheduler path — the equivalence tests assert that —
@@ -19,6 +19,15 @@ Usage::
     repro-perf --quick              # reduced sweep (CI smoke)
     repro-perf --label fig10        # one figure only
     repro-perf --quick --gate .     # compare against committed BENCH files
+    repro-perf --replay             # replay-off vs replay-on comparison
+    repro-perf --profile            # cProfile table (PROFILE_<label>.txt)
+
+``--replay`` runs every point twice — once with the collective replay
+cache disabled, once cold-cache enabled — asserts the virtual-time
+latency is bit-identical, and writes a single ``BENCH_replay.json``
+with per-point wall/event columns for both legs.  ``--replay-gate X``
+fails the run when the aggregate warm-repetition speedup drops below
+``X`` (CI uses 5).
 """
 
 from __future__ import annotations
@@ -33,56 +42,59 @@ from typing import Any
 from repro.bench import sweep as sweeplib
 
 __all__ = ["PERF_LABELS", "perf_points", "measure_point", "run_perf",
-           "write_bench", "check_gate", "main"]
+           "run_replay_compare", "profile_perf", "write_bench",
+           "check_gate", "main"]
 
 PERF_LABELS = ("fig7", "fig9", "fig10")
 
-#: Pre-fast-path reference numbers (wall seconds / events processed),
-#: measured at the commit before this harness existed on the same
-#: configurations (payload_mode="model", legacy scheduler).  Keyed like
-#: the harness output so "before" columns and speedups can be reported.
-#: Event counts double as a determinism check: the optimized engine must
-#: process exactly the same number of events.
+#: Pre-replay reference numbers (wall seconds / events processed),
+#: measured on the PR 5 fast-path configuration (``fast_path=True``,
+#: ``payload="cost-only"``, replay disabled) at ``DEFAULT_REPS=50`` —
+#: i.e. the off leg of ``repro-perf --replay``.  Keyed like the harness
+#: output so "before" columns and speedups can be reported.  Event
+#: counts are the replay-off totals; a fresh run (replay on by default)
+#: processes far fewer, and the ratio is the work the replay cache
+#: skipped.
 BASELINE: dict[str, dict[str, dict[str, float]]] = {
     "fig7": {
-        "n1x24/1el/hybrid": {"wall_s": 0.0121, "events": 126},
-        "n1x24/1el/pure": {"wall_s": 0.0313, "events": 4441},
-        "n1x24/1024el/hybrid": {"wall_s": 0.0035, "events": 126},
-        "n1x24/1024el/pure": {"wall_s": 0.0279, "events": 3673},
-        "n1x24/16384el/hybrid": {"wall_s": 0.0044, "events": 126},
-        "n1x24/16384el/pure": {"wall_s": 0.1022, "events": 15577},
+        "n1x24/1el/hybrid": {"wall_s": 0.0675, "events": 2526},
+        "n1x24/1el/pure": {"wall_s": 0.2585, "events": 112632},
+        "n1x24/1024el/hybrid": {"wall_s": 0.037, "events": 2526},
+        "n1x24/1024el/pure": {"wall_s": 0.2512, "events": 93048},
+        "n1x24/16384el/hybrid": {"wall_s": 0.0377, "events": 2526},
+        "n1x24/16384el/pure": {"wall_s": 1.1086, "events": 396600},
     },
     "fig9-quick": {
-        "n4x3/512el/hybrid": {"wall_s": 0.006, "events": 592},
-        "n4x3/512el/pure": {"wall_s": 0.0221, "events": 1696},
-        "n4x12/512el/hybrid": {"wall_s": 0.0112, "events": 880},
-        "n4x12/512el/pure": {"wall_s": 0.1046, "events": 18112},
-        "n4x24/512el/hybrid": {"wall_s": 0.0228, "events": 1424},
-        "n4x24/512el/pure": {"wall_s": 0.4296, "events": 68384},
+        "n4x3/512el/hybrid": {"wall_s": 0.0546, "events": 10881},
+        "n4x3/512el/pure": {"wall_s": 0.1077, "events": 39180},
+        "n4x12/512el/hybrid": {"wall_s": 0.1411, "events": 16425},
+        "n4x12/512el/pure": {"wall_s": 1.0725, "events": 455988},
+        "n4x24/512el/hybrid": {"wall_s": 0.282, "events": 27897},
+        "n4x24/512el/pure": {"wall_s": 4.6844, "events": 1735524},
     },
     "fig9-full": {
-        "n16x3/512el/hybrid": {"wall_s": 0.0294, "events": 4148},
-        "n16x3/512el/pure": {"wall_s": 0.0539, "events": 8576},
-        "n16x12/512el/hybrid": {"wall_s": 0.1281, "events": 12340},
-        "n16x12/512el/pure": {"wall_s": 0.5801, "events": 81280},
-        "n16x24/512el/hybrid": {"wall_s": 0.2461, "events": 13876},
-        "n16x24/512el/pure": {"wall_s": 2.2704, "events": 281728},
+        "n16x3/512el/hybrid": {"wall_s": 0.3772, "events": 76005},
+        "n16x3/512el/pure": {"wall_s": 0.6134, "events": 189360},
+        "n16x12/512el/hybrid": {"wall_s": 1.2895, "events": 277701},
+        "n16x12/512el/pure": {"wall_s": 6.4207, "events": 2036112},
+        "n16x24/512el/hybrid": {"wall_s": 1.9874, "events": 307269},
+        "n16x24/512el/pure": {"wall_s": 19.1185, "events": 7137936},
     },
     "fig10-quick": {
-        "r160/1el/hybrid": {"wall_s": 0.0579, "events": 2453},
-        "r160/1el/pure": {"wall_s": 0.1397, "events": 12818},
-        "r160/1024el/hybrid": {"wall_s": 0.0577, "events": 3377},
-        "r160/1024el/pure": {"wall_s": 0.8333, "events": 111968},
-        "r160/16384el/hybrid": {"wall_s": 0.0535, "events": 3377},
-        "r160/16384el/pure": {"wall_s": 0.8858, "events": 111331},
+        "r160/1el/hybrid": {"wall_s": 0.5131, "events": 45406},
+        "r160/1el/pure": {"wall_s": 1.0707, "events": 309934},
+        "r160/1024el/hybrid": {"wall_s": 0.5595, "events": 68968},
+        "r160/1024el/pure": {"wall_s": 9.9456, "events": 2838208},
+        "r160/16384el/hybrid": {"wall_s": 0.6851, "events": 68968},
+        "r160/16384el/pure": {"wall_s": 9.6221, "events": 2821888},
     },
     "fig10-full": {
-        "r1024/1el/hybrid": {"wall_s": 1.6162, "events": 22085},
-        "r1024/1el/pure": {"wall_s": 1.896, "events": 88577},
-        "r1024/1024el/hybrid": {"wall_s": 1.5383, "events": 85037},
-        "r1024/1024el/pure": {"wall_s": 8.5006, "events": 795719},
-        "r1024/16384el/hybrid": {"wall_s": 1.6151, "events": 85037},
-        "r1024/16384el/pure": {"wall_s": 9.2572, "events": 791623},
+        "r1024/1el/hybrid": {"wall_s": 4.0347, "events": 403408},
+        "r1024/1el/pure": {"wall_s": 11.6811, "events": 2099980},
+        "r1024/1024el/hybrid": {"wall_s": 8.9145, "events": 2008684},
+        "r1024/1024el/pure": {"wall_s": 68.8288, "events": 20132050},
+        "r1024/16384el/hybrid": {"wall_s": 7.9382, "events": 2008684},
+        "r1024/16384el/pure": {"wall_s": 70.4192, "events": 20027602},
     },
 }
 
@@ -166,6 +178,98 @@ def run_perf(label: str, quick: bool = False, payload: str = "cost-only",
         if total_wall > 0:
             doc["speedup"] = round(before_total / total_wall, 2)
     return doc
+
+
+def run_replay_compare(labels, quick: bool = False,
+                       payload: str = "cost-only", fast_path: bool = True,
+                       progress: bool = True) -> dict[str, Any]:
+    """Measure the replay cache's warm-repetition speedup.
+
+    Every latency point of *labels* runs twice: replay off, then replay
+    on from a cold cache (so the on-leg pays its own pocket-recording
+    cost).  Virtual time must be bit-identical between the legs — a
+    mismatched ``latency_us`` or ``events``-independent field raises —
+    and the document records both legs' wall seconds and event counts,
+    plus the aggregate ``speedup`` the CI gate checks.
+    """
+    from repro.mpi.collectives import replay as replaylib
+
+    points: dict[str, Any] = {}
+    total_off = total_on = 0.0
+    saved = sweeplib.REPLAY_MODE
+    try:
+        for label in labels:
+            for name, point in perf_points(label, quick):
+                sweep_point = replace(
+                    point, payload=payload, fast_path=fast_path
+                )
+                sweeplib.REPLAY_MODE = False
+                off = sweeplib.run_point(sweep_point)
+                sweeplib.REPLAY_MODE = "loop"
+                replaylib.clear_cache()
+                on = sweeplib.run_point(sweep_point)
+                if on["latency_us"] != off["latency_us"]:
+                    raise RuntimeError(
+                        f"{label}/{name}: replay changed virtual time "
+                        f"({on['latency_us']} != {off['latency_us']} us)"
+                    )
+                rec = {
+                    "latency_us": off["latency_us"],
+                    "wall_off_s": off["wall_s"],
+                    "wall_on_s": on["wall_s"],
+                    "events_off": off["events"],
+                    "events_on": on["events"],
+                }
+                if on["wall_s"] > 0:
+                    rec["speedup"] = round(off["wall_s"] / on["wall_s"], 2)
+                if "replay" in on:
+                    rec["replay"] = on["replay"]
+                points[f"{label}/{name}"] = rec
+                total_off += off["wall_s"]
+                total_on += on["wall_s"]
+                if progress:
+                    print(
+                        f"  {label}/{name}: {off['wall_s']}s -> "
+                        f"{on['wall_s']}s (x{rec.get('speedup', 0)})",
+                        flush=True,
+                    )
+    finally:
+        sweeplib.REPLAY_MODE = saved
+    return {
+        "label": "replay",
+        "mode": "quick" if quick else "full",
+        "payload": payload,
+        "fast_path": fast_path,
+        "points": points,
+        "total_wall_off_s": round(total_off, 3),
+        "total_wall_on_s": round(total_on, 3),
+        "speedup": round(total_off / total_on, 2) if total_on > 0 else 0.0,
+    }
+
+
+def profile_perf(labels, quick: bool = False, payload: str = "cost-only",
+                 fast_path: bool = True, out_dir: str = ".",
+                 top: int = 25) -> str:
+    """cProfile the full measurement sweep of *labels* and write the
+    top-*top* cumulative-time table to ``PROFILE_perf.txt`` in
+    *out_dir* (CI uploads it as an artifact).  Returns the path."""
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    for label in labels:
+        run_perf(label, quick=quick, payload=payload,
+                 fast_path=fast_path, progress=False)
+    prof.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    path = os.path.join(out_dir, "PROFILE_perf.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(buf.getvalue())
+    return path
 
 
 def write_bench(doc: dict[str, Any], out_dir: str = ".") -> str:
@@ -259,9 +363,58 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress"
     )
+    parser.add_argument(
+        "--replay", action="store_true",
+        help=(
+            "measure replay-off vs cold-cache replay-on for every point "
+            "and write BENCH_replay.json (virtual time must match)"
+        ),
+    )
+    parser.add_argument(
+        "--replay-gate", type=float, default=None, metavar="X",
+        help=(
+            "with --replay: fail when the aggregate warm-repetition "
+            "speedup is below X (CI uses 5)"
+        ),
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "cProfile the sweep and write the top-25 cumulative table "
+            "to PROFILE_perf.txt (CI artifact)"
+        ),
+    )
     args = parser.parse_args(argv)
     labels = args.label or list(PERF_LABELS)
     cache = sweeplib.ResultCache(args.cache) if args.cache else None
+    if args.replay:
+        doc = run_replay_compare(
+            labels, quick=args.quick, payload=args.payload,
+            fast_path=not args.legacy_path, progress=not args.quiet,
+        )
+        print(
+            f"replay: {doc['total_wall_off_s']}s off -> "
+            f"{doc['total_wall_on_s']}s on (x{doc['speedup']} speedup)",
+            flush=True,
+        )
+        if not args.no_json:
+            path = write_bench(doc, args.out_dir)
+            if not args.quiet:
+                print(f"wrote {path}", flush=True)
+        if args.replay_gate and doc["speedup"] < args.replay_gate:
+            print(
+                f"PERF REGRESSION: replay speedup x{doc['speedup']} is "
+                f"below the x{args.replay_gate:g} gate", file=sys.stderr,
+            )
+            return 1
+        return 0
+    if args.profile:
+        path = profile_perf(
+            labels, quick=args.quick, payload=args.payload,
+            fast_path=not args.legacy_path, out_dir=args.out_dir,
+        )
+        print(f"wrote {path}", flush=True)
+        return 0
     failures = []
     for label in labels:
         if not args.quiet:

@@ -13,8 +13,10 @@ examples):
 ``GET /health``
     Liveness plus the engine/model versions the cache keys embed.
 ``GET /stats``
-    Cache statistics (entries, bytes, session hits/misses) and request
-    counters, in the :func:`repro.metrics.sweep_metrics` counter style.
+    Cache statistics (entries, bytes, session hits/misses), the
+    in-process collective replay-cache counters (``replay``), and
+    request counters, in the :func:`repro.metrics.sweep_metrics`
+    counter style.
 ``POST /query``
     Body: a :class:`~repro.bench.sweep.SweepPoint` JSON document (any
     subset of its fields).  Answers the point from cache or by running
@@ -74,8 +76,11 @@ class SweepService:
         }
 
     def stats(self) -> dict:
+        from repro.mpi.collectives import replay
+
         return {
             "cache": self.cache.stats() if self.cache else None,
+            "replay": replay.cache_stats(),
             "requests": self.requests,
             "errors": self.errors,
         }

@@ -105,6 +105,15 @@ CACHE_ENV = "REPRO_SWEEP_CACHE"
 #: point predictably slow.  Never set this outside tests.
 TEST_DELAY_ENV = "REPRO_SWEEP_TEST_DELAY"
 
+#: Replay-cache mode for latency-workload simulator points.  The OSU
+#: latency loop is align-disciplined, so loop mode is sound and virtual
+#: time is bit-identical either way; harnesses that need an honest
+#: replay-off wall-clock (``repro-perf --replay``) patch this to
+#: ``False`` for the baseline leg, in the ``osu.DEFAULT_REPS`` style.
+#: Not part of :func:`cache_key` precisely because results are
+#: bit-identical.
+REPLAY_MODE: bool | str = "loop"
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -495,6 +504,12 @@ def _run_sim_point(point: SweepPoint) -> dict:
         kwargs = {"nbytes_per_rank": point.nbytes}
         if point.variant == "pure" and point.is_irregular:
             kwargs["irregular"] = True
+    # The OSU latency loop is align-disciplined, so the replay cache's
+    # loop mode applies (virtual time is bit-identical either way; see
+    # tests/bench/test_replay_equivalence.py).  The overlap workload
+    # interleaves non-blocking collectives with compute — replay's
+    # quiescence predicate would veto every dispatch anyway, so skip
+    # the session entirely.
     t0 = time.perf_counter()
     result = run_program(
         point.spec(), None, program,
@@ -502,6 +517,7 @@ def _run_sim_point(point: SweepPoint) -> dict:
         payload=point.payload,
         fast_path=point.fast_path,
         policy=policy,
+        replay=REPLAY_MODE if point.workload == "latency" else False,
         program_kwargs=kwargs,
     )
     wall = time.perf_counter() - t0
@@ -522,6 +538,12 @@ def _run_sim_point(point: SweepPoint) -> dict:
     else:
         latency = max(result.returns)
     events = result.events_processed
+    if result.replay_hits or result.replay_misses:
+        extra["replay"] = {
+            "hits": result.replay_hits,
+            "misses": result.replay_misses,
+            "events_saved": result.replay_events_saved,
+        }
     return {
         "latency_us": latency * 1e6,
         "latency_s": latency,

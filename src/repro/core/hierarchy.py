@@ -233,6 +233,18 @@ class HybridContext:
         return buf
 
     # -- collective operations (delegates) --------------------------------------
+    def _replayed(self, op: str, sig, inner):
+        """Route a hybrid collective through the job's replay session.
+
+        The i-variants bypass this (they run as background processes and
+        veto replay via the non-blocking counter instead)."""
+        sess = self.comm.ctx.job.replay
+        if sess is None:
+            result = yield from inner()
+            return result
+        result = yield from sess.run(self.comm, op, sig, inner)
+        return result
+
     def allgather(self, buf: SharedBuffer, sync: SyncPolicy | None = None,
                   pipelined: bool | None = None,
                   chunk_bytes: int = 128 * 1024,
@@ -242,27 +254,55 @@ class HybridContext:
         ``pipelined=True`` forces the chunked bridge exchange; ``None``
         (default) lets the rank's selection policy pick the variant."""
         from repro.core.allgather import hy_allgather
+        from repro.mpi.collectives.replay import sync_signature
 
-        yield from hy_allgather(
-            self, buf, sync=sync, pipelined=pipelined,
-            chunk_bytes=chunk_bytes, pack_datatypes=pack_datatypes,
+        sd = sync_signature(sync or self.default_sync)
+        sig = None if sd is None else (
+            "hyag", tuple(buf.slot_sizes), sd, pipelined, chunk_bytes,
+            pack_datatypes,
+        )
+        yield from self._replayed(
+            "hy_allgather", sig,
+            lambda: hy_allgather(
+                self, buf, sync=sync, pipelined=pipelined,
+                chunk_bytes=chunk_bytes, pack_datatypes=pack_datatypes,
+            ),
         )
 
     def bcast(self, buf: SharedBuffer, root: int = 0,
               sync: SyncPolicy | None = None):
         """Coroutine: hybrid broadcast over *buf* (paper Fig 6)."""
         from repro.core.bcast import hy_bcast
+        from repro.mpi.collectives.replay import sync_signature
 
-        yield from hy_bcast(self, buf, root=root, sync=sync)
+        sd = sync_signature(sync or self.default_sync)
+        sig = None if sd is None else (
+            "hybc", tuple(buf.slot_sizes), sd, root,
+        )
+        yield from self._replayed(
+            "hy_bcast", sig,
+            lambda: hy_bcast(self, buf, root=root, sync=sync),
+        )
 
     def allreduce(self, contribution, nbytes: int,
                   op=None, sync: SyncPolicy | None = None):
         """Coroutine: hybrid allreduce extension; returns result payload."""
         from repro.core.reduce import hy_allreduce
+        from repro.mpi.collectives.replay import (
+            payload_signature,
+            sync_signature,
+        )
         from repro.mpi.constants import ReduceOp
 
-        result = yield from hy_allreduce(
-            self, contribution, nbytes, op or ReduceOp.SUM, sync=sync
+        rop = op or ReduceOp.SUM
+        sd = sync_signature(sync or self.default_sync)
+        psig = payload_signature(contribution)
+        sig = None if sd is None or psig is None else (
+            "hyar", sd, psig, int(nbytes), rop,
+        )
+        result = yield from self._replayed(
+            "hy_allreduce", sig,
+            lambda: hy_allreduce(self, contribution, nbytes, rop, sync=sync),
         )
         return result
 

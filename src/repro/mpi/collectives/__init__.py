@@ -79,7 +79,7 @@ def _select(comm, req: CollRequest):
 # allgather family
 # ---------------------------------------------------------------------------
 
-def dispatch_allgather(comm, payload: Any, tag: int):
+def _run_allgather(comm, payload: Any, tag: int):
     """Regular allgather; returns the per-rank payload list."""
     yield from _overhead(comm)
     if comm.size == 1:
@@ -109,7 +109,7 @@ def _agree_total(comm, nbytes: int, tag: int):
     return results[comm.rank]
 
 
-def dispatch_allgatherv(comm, payload: Any, tag: int,
+def _run_allgatherv(comm, payload: Any, tag: int,
                         total: int | None = None):
     """Irregular allgather; returns the per-rank payload list.
 
@@ -136,7 +136,7 @@ def dispatch_allgatherv(comm, payload: Any, tag: int,
 # bcast
 # ---------------------------------------------------------------------------
 
-def dispatch_bcast(comm, payload: Any, root: int, tag: int):
+def _run_bcast(comm, payload: Any, root: int, tag: int):
     """Broadcast; returns the payload on every rank.
 
     MPI semantics: *every* rank supplies a payload of the message size
@@ -175,7 +175,7 @@ def _deliver_bcast(recvbuf: Any, result: Any) -> Any:
 # gather / scatter
 # ---------------------------------------------------------------------------
 
-def dispatch_gather(comm, payload: Any, root: int, tag: int,
+def _run_gather(comm, payload: Any, root: int, tag: int,
                     irregular: bool = False):
     """Gather to *root*; returns the ordered payload list there."""
     yield from _overhead(comm)
@@ -195,7 +195,7 @@ def dispatch_gather(comm, payload: Any, root: int, tag: int,
     return result.as_list(comm.size)
 
 
-def dispatch_scatter(comm, payloads: list[Any] | None, root: int, tag: int):
+def _run_scatter(comm, payloads: list[Any] | None, root: int, tag: int):
     """Scatter from *root*; returns this rank's payload."""
     yield from _overhead(comm)
     if comm.size == 1:
@@ -216,7 +216,7 @@ def dispatch_scatter(comm, payloads: list[Any] | None, root: int, tag: int):
 # reductions
 # ---------------------------------------------------------------------------
 
-def dispatch_reduce(comm, payload: Any, op: ReduceOp, root: int, tag: int):
+def _run_reduce(comm, payload: Any, op: ReduceOp, root: int, tag: int):
     """Reduce to *root*."""
     yield from _overhead(comm)
     if comm.size == 1:
@@ -230,7 +230,7 @@ def dispatch_reduce(comm, payload: Any, op: ReduceOp, root: int, tag: int):
     return result
 
 
-def dispatch_allreduce(comm, payload: Any, op: ReduceOp, tag: int):
+def _run_allreduce(comm, payload: Any, op: ReduceOp, tag: int):
     """Allreduce on every rank."""
     yield from _overhead(comm)
     if comm.size == 1:
@@ -244,7 +244,7 @@ def dispatch_allreduce(comm, payload: Any, op: ReduceOp, tag: int):
     return result
 
 
-def dispatch_scan(comm, payload: Any, op: ReduceOp, tag: int):
+def _run_scan(comm, payload: Any, op: ReduceOp, tag: int):
     """Inclusive prefix scan: linear chain for tiny comms, log-round
     doubling otherwise."""
     yield from _overhead(comm)
@@ -259,7 +259,7 @@ def dispatch_scan(comm, payload: Any, op: ReduceOp, tag: int):
     return result
 
 
-def dispatch_exscan(comm, payload: Any, op: ReduceOp, tag: int):
+def _run_exscan(comm, payload: Any, op: ReduceOp, tag: int):
     """Exclusive prefix scan (rank 0 receives None)."""
     yield from _overhead(comm)
     if comm.size == 1:
@@ -273,7 +273,7 @@ def dispatch_exscan(comm, payload: Any, op: ReduceOp, tag: int):
     return result
 
 
-def dispatch_reduce_scatter(comm, payload: Any, op: ReduceOp, tag: int):
+def _run_reduce_scatter(comm, payload: Any, op: ReduceOp, tag: int):
     """Block reduce-scatter: rank i receives the reduction of block i."""
     yield from _overhead(comm)
     if comm.size == 1:
@@ -291,7 +291,7 @@ def dispatch_reduce_scatter(comm, payload: Any, op: ReduceOp, tag: int):
 # barrier / alltoall
 # ---------------------------------------------------------------------------
 
-def dispatch_barrier(comm, tag: int):
+def _run_barrier(comm, tag: int):
     """Barrier: shm-flag tree on one node, hierarchical across nodes,
     dissemination otherwise.  (The flat dissemination runner charges the
     per-call software overhead; the shm paths model cheaper entry.)"""
@@ -302,7 +302,7 @@ def dispatch_barrier(comm, tag: int):
     trace_end(comm, span)
 
 
-def dispatch_alltoall(comm, payloads: list[Any], tag: int):
+def _run_alltoall(comm, payloads: list[Any], tag: int):
     """All-to-all personalized exchange."""
     yield from _overhead(comm)
     if comm.size == 1:
@@ -313,4 +313,147 @@ def dispatch_alltoall(comm, payloads: list[Any], tag: int):
     )
     result = yield from algo.fn(comm, payloads, tag)
     trace_end(comm, span)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Replay-aware entry points
+# ---------------------------------------------------------------------------
+# The public ``dispatch_*`` names wrap the ``_run_*`` bodies above with
+# the macro-event replay layer (:mod:`repro.mpi.collectives.replay`):
+# when the job carries a ReplaySession, world-covering dispatches park
+# until the end of their entry timestep and — if all ranks arrived
+# simultaneously on a quiescent engine — are replayed from the record
+# cache in O(nranks) instead of simulated.  Everything else (no session,
+# sub-communicators, staggered entries, non-replayable payloads) runs
+# the body unchanged.
+
+from repro.mpi.collectives.replay import (  # noqa: E402
+    payload_signature as _psig,
+)
+
+
+def _dispatch(comm, op, sig, inner):
+    sess = comm.ctx.job.replay
+    if sess is None:
+        result = yield from inner()
+        return result
+    result = yield from sess.run(comm, op, sig, inner)
+    return result
+
+
+def _sig(kind: str, psig, *rest):
+    # A None payload signature (data-carrying payload) vetoes the whole
+    # dispatch; the session still parks so the veto is collective.
+    return None if psig is None else (kind, psig) + rest
+
+
+def dispatch_allgather(comm, payload: Any, tag: int):
+    """Replay-aware :func:`_run_allgather`."""
+    result = yield from _dispatch(
+        comm, "allgather", _sig("ag", _psig(payload)),
+        lambda: _run_allgather(comm, payload, tag),
+    )
+    return result
+
+
+def dispatch_allgatherv(comm, payload: Any, tag: int,
+                        total: int | None = None):
+    """Replay-aware :func:`_run_allgatherv`."""
+    result = yield from _dispatch(
+        comm, "allgatherv", _sig("agv", _psig(payload), total),
+        lambda: _run_allgatherv(comm, payload, tag, total),
+    )
+    return result
+
+
+def dispatch_bcast(comm, payload: Any, root: int, tag: int):
+    """Replay-aware :func:`_run_bcast`."""
+    result = yield from _dispatch(
+        comm, "bcast", _sig("bc", _psig(payload), root),
+        lambda: _run_bcast(comm, payload, root, tag),
+    )
+    return result
+
+
+def dispatch_gather(comm, payload: Any, root: int, tag: int,
+                    irregular: bool = False):
+    """Replay-aware :func:`_run_gather`."""
+    result = yield from _dispatch(
+        comm, "gatherv" if irregular else "gather",
+        _sig("ga", _psig(payload), root, irregular),
+        lambda: _run_gather(comm, payload, root, tag, irregular),
+    )
+    return result
+
+
+def dispatch_scatter(comm, payloads: list[Any] | None, root: int, tag: int):
+    """Replay-aware :func:`_run_scatter`."""
+    result = yield from _dispatch(
+        comm, "scatter", _sig("sc", _psig(payloads), root),
+        lambda: _run_scatter(comm, payloads, root, tag),
+    )
+    return result
+
+
+def dispatch_reduce(comm, payload: Any, op: ReduceOp, root: int, tag: int):
+    """Replay-aware :func:`_run_reduce`."""
+    result = yield from _dispatch(
+        comm, "reduce", _sig("rd", _psig(payload), op, root),
+        lambda: _run_reduce(comm, payload, op, root, tag),
+    )
+    return result
+
+
+def dispatch_allreduce(comm, payload: Any, op: ReduceOp, tag: int):
+    """Replay-aware :func:`_run_allreduce`."""
+    result = yield from _dispatch(
+        comm, "allreduce", _sig("ar", _psig(payload), op),
+        lambda: _run_allreduce(comm, payload, op, tag),
+    )
+    return result
+
+
+def dispatch_scan(comm, payload: Any, op: ReduceOp, tag: int):
+    """Replay-aware :func:`_run_scan`."""
+    result = yield from _dispatch(
+        comm, "scan", _sig("sn", _psig(payload), op),
+        lambda: _run_scan(comm, payload, op, tag),
+    )
+    return result
+
+
+def dispatch_exscan(comm, payload: Any, op: ReduceOp, tag: int):
+    """Replay-aware :func:`_run_exscan`."""
+    result = yield from _dispatch(
+        comm, "exscan", _sig("ex", _psig(payload), op),
+        lambda: _run_exscan(comm, payload, op, tag),
+    )
+    return result
+
+
+def dispatch_reduce_scatter(comm, payload: Any, op: ReduceOp, tag: int):
+    """Replay-aware :func:`_run_reduce_scatter`."""
+    result = yield from _dispatch(
+        comm, "reduce_scatter", _sig("rs", _psig(payload), op),
+        lambda: _run_reduce_scatter(comm, payload, op, tag),
+    )
+    return result
+
+
+def dispatch_barrier(comm, tag: int):
+    """Replay-aware :func:`_run_barrier`."""
+    result = yield from _dispatch(
+        comm, "barrier", ("bar",),
+        lambda: _run_barrier(comm, tag),
+    )
+    return result
+
+
+def dispatch_alltoall(comm, payloads: list[Any], tag: int):
+    """Replay-aware :func:`_run_alltoall`."""
+    result = yield from _dispatch(
+        comm, "alltoall", _sig("a2a", _psig(payloads)),
+        lambda: _run_alltoall(comm, payloads, tag),
+    )
     return result

@@ -98,6 +98,29 @@ class _CommShared:
             st.event.succeed(reducer(st.values))
         return st.event
 
+    def align_arrive(self, key: Any, rank: int) -> Event:
+        """Rendezvous with *rank-order* wakes (see :meth:`Comm.align`).
+
+        Unlike :meth:`arrive` — one shared event whose waiters resume in
+        arrival order — every rank gets its own event here, and the last
+        arrival succeeds them sorted by rank.  Succeeding queues each
+        event at the current timestep in succeed order, so all ranks
+        (the last arriver included: its own already-triggered event sits
+        in its rank-order queue slot by the time it yields) resume in
+        the canonical permutation.
+        """
+        st = self._gates.get(key)
+        if st is None:
+            st = self._gates[key] = _GateState(None)
+        if rank in st.values:
+            raise MPIError(f"rank {rank} arrived twice at gate {key!r}")
+        ev = st.values[rank] = Event(self.job.engine, name=f"align{rank}")
+        if len(st.values) == self.group.size:
+            del self._gates[key]
+            for r in sorted(st.values):
+                st.values[r].succeed(None)
+        return ev
+
 
 class _GateState:
     __slots__ = ("values", "event")
@@ -405,7 +428,19 @@ class Comm:
         """
         t0 = self._ctx.engine.now
         result = yield from gen
-        self._ctx.profile.record(op, nbytes, self._ctx.engine.now - t0)
+        ctx = self._ctx
+        dt = ctx.engine.now - t0
+        ctx.profile.record(op, nbytes, dt)
+        sess = ctx.job.replay
+        if sess is not None and sess.profile_taps:
+            # Replay verify mode: hand the top-level entry to the
+            # pending verifier — the replay record carries only *nested*
+            # wrapped collectives (pocket bodies call the unwrapped
+            # dispatchers), so the verifier folds this entry into the
+            # expected delta.
+            state = sess.profile_taps.pop(ctx.world_rank, None)
+            if state is not None:
+                state.top[ctx.world_rank] = (op, nbytes, dt)
         return result
 
     # Backward-compatible alias (pre-registry name).
@@ -417,6 +452,30 @@ class Comm:
             "barrier", 0,
             _coll.dispatch_barrier(self, self._next_coll_tag()),
         )
+
+    def align(self):
+        """Coroutine: zero-virtual-cost rendezvous of all member ranks.
+
+        Every rank resumes at the *last* arrival's timestep — in **rank
+        order**, not arrival order — without simulating any
+        communication (unlike :meth:`barrier`, which models a real
+        dissemination/gather-release exchange).  Benchmark harnesses use
+        this to realign rank clocks between repetitions so that each
+        repetition enters its collective simultaneously *and in the same
+        canonical permutation*: same-timestep resource-queue grants
+        depend on arrival order, so rank-order wakes make every aligned
+        repetition byte-identical — which is exactly what lets the
+        replay cache (:mod:`repro.mpi.collectives.replay`) memoize the
+        steady state under a single key instead of chasing a rotating
+        arrival permutation.  An align is measurement scaffolding, not a
+        modelled operation: it adds nothing to virtual time, traffic
+        counters, or the trace.
+        """
+        self._gate_seq += 1
+        yield self._shared.align_arrive(
+            ("align", self._gate_seq), self.rank
+        )
+        return None
 
     def bcast(self, payload: Any, root: int = 0):
         """Broadcast from *root*; returns the payload on every rank."""

@@ -88,8 +88,24 @@ def spawn_collective(comm, op: str, gen) -> CollRequest:
     concurrent spans of the issuing rank program keep correct nesting.
     """
     ctx = comm.ctx
+    sess = ctx.job.replay
+    if sess is not None:
+        # Replay eligibility veto: while any non-blocking collective is
+        # outstanding the engine is not quiescent, so parked dispatches
+        # fall through to normal execution.
+        gen = _counted(sess, gen)
     tracer = ctx.trace
     if tracer is not None:
         gen = tracer.run_in_context(ctx.world_rank, gen)
     proc = ctx.engine.spawn(gen, name=f"{comm.name}.{op}@r{comm.rank}")
     return CollRequest(proc, op)
+
+
+def _counted(sess, gen):
+    """Wrap *gen* so the replay session sees it as in-flight."""
+    sess.pending_icolls += 1
+    try:
+        result = yield from gen
+    finally:
+        sess.pending_icolls -= 1
+    return result

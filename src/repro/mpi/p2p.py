@@ -168,6 +168,11 @@ class MessageEngine:
         self._seq = 0
         self.sent_messages = 0
         self.sent_bytes = 0.0
+        #: Unmatched sends + receives across all queues, maintained O(1)
+        #: (the replay layer's quiescence predicate polls this on every
+        #: parked dispatch; the per-queue scan of pending_counts() stays
+        #: for diagnostics).
+        self.pending_total = 0
         # Hot-path caches (one attribute hop instead of three per send).
         self._eager_threshold = machine.spec.network.eager_threshold
 
@@ -228,6 +233,7 @@ class MessageEngine:
         if q is None:
             q = self._queues[key] = _MatchQueue()
         q.pending_sends.append(rec)
+        self.pending_total += 1
         Process(eng, self._sender_process(rec), "msg.xfer")
         self._try_match(q)
         return rec.sender_done
@@ -358,6 +364,7 @@ class MessageEngine:
         if q is None:
             q = self._queues[key] = _MatchQueue()
         q.pending_recvs.append(rec)
+        self.pending_total += 1
         self._try_match(q)
         return ev
 
@@ -390,6 +397,7 @@ class MessageEngine:
                     recv.tag == ANY_TAG or recv.tag == send.tag):
                 recvs.popleft()
                 sends.popleft()
+                self.pending_total -= 2
                 self._start_delivery(send, recv)
             return
         for recv in list(recvs):
@@ -401,6 +409,7 @@ class MessageEngine:
             if chosen is not None:
                 recvs.remove(recv)
                 sends.remove(chosen)
+                self.pending_total -= 2
                 self._start_delivery(chosen, recv)
                 if not sends:
                     return

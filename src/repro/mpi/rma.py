@@ -177,6 +177,11 @@ def win_allocate(comm, nbytes: int):
     def reducer(values: dict[int, int]) -> dict[int, Any]:
         sizes = [int(values[r]) for r in range(len(values))]
         shared = _RmaShared(sizes, comm.ctx.data_mode, comm.ctx.engine)
+        sess = comm.ctx.job.replay
+        if sess is not None:
+            # Replay quiescence: a busy or contended window lock means an
+            # RMA epoch is active and parked dispatches must run live.
+            sess.rma_windows.append(shared)
         return {r: shared for r in values}
 
     shared = yield from comm._gate("win_allocate_rma", int(nbytes), reducer)

@@ -116,12 +116,13 @@ class RankContext:
             seconds = self.noise.perturb(seconds, self._noise_rng)
         tracer = self.trace
         if tracer is not None and tracer.compute:
-            now = self.engine.now
             rec = tracer.begin({
-                "t": now, "rank": self.world_rank,
+                "t": self.engine.now, "rank": self.world_rank,
                 "kind": "compute", "op": kind,
             })
-            tracer.end(rec, now + seconds)
+            # Same tick-grid arithmetic as the timeout below, so the
+            # span end matches the event time bit-for-bit.
+            tracer.end(rec, self.engine.qtime(seconds))
         return self.engine.timeout(seconds)
 
     def compute_flops(self, flops: float, kind: str = "default") -> Event:
@@ -187,6 +188,12 @@ class JobResult:
     trace: list[dict] | None = None
     placement: Placement | None = None
     profiles: list[CommProfile] = field(default_factory=list)
+    #: Replay-cache activity (zero when replay is off): cache hits,
+    #: misses (pocket recordings), and engine events not simulated
+    #: because a record was applied instead.
+    replay_hits: int = 0
+    replay_misses: int = 0
+    replay_events_saved: int = 0
 
     def max_rank_time(self) -> float:
         """Virtual time when the slowest rank finished."""
@@ -239,6 +246,7 @@ class MPIJob:
         program_args: tuple = (),
         program_kwargs: dict | None = None,
         fast_path: bool = True,
+        replay: bool | str | None = None,
     ):
         if payload is not None:
             payload_mode = {"full": "data"}.get(payload, payload)
@@ -280,6 +288,9 @@ class MPIJob:
             cost_only=payload_mode == "cost-only",
         )
         self.payload_mode = payload_mode
+        self.spec = spec
+        self.link_contention = link_contention
+        self.fast_path = fast_path
         self.tuning = tuning or tuning_for_machine(spec.name)
         # None -> environment-driven (REPRO_COLL_POLICY / REPRO_COLL_<OP>);
         # a name or SelectionPolicy instance overrides the environment.
@@ -291,6 +302,29 @@ class MPIJob:
         self.program_args = program_args
         self.program_kwargs = program_kwargs or {}
         self._comm_ids = 0
+        # Replay: None defers to the environment (REPRO_REPLAY, with
+        # "loop" selecting loop mode; REPRO_REPLAY_VERIFY implies replay
+        # in verify mode).  ``replay="loop"`` additionally applies
+        # records whose ranks exit at different timesteps — safe only
+        # for align-disciplined programs (benchmark harnesses; see
+        # ReplaySession).  The session only exists when it can ever fire
+        # — symbolic payloads and no noise model; otherwise dispatches
+        # run unchanged.
+        import os as _os
+
+        verify = _os.environ.get("REPRO_REPLAY_VERIFY", "0") not in ("", "0")
+        if replay is None:
+            env = _os.environ.get("REPRO_REPLAY", "0")
+            replay = env if env == "loop" else (
+                verify or env not in ("", "0")
+            )
+        self.replay = None
+        if replay and payload_mode != "data" and noise is None:
+            from repro.mpi.collectives.replay import ReplaySession
+
+            self.replay = ReplaySession(
+                self, verify=verify, loop=replay == "loop"
+            )
 
     @property
     def trace_log(self) -> list[dict]:
@@ -315,6 +349,9 @@ class MPIJob:
             ctx = RankContext(self, rank)
             ctx.world = Comm(world_shared, ctx)
             contexts.append(ctx)
+        # Exposed for the replay layer, which applies recorded per-rank
+        # profile increments without executing the profiled dispatch.
+        self.contexts = contexts
 
         def wrapper(ctx: RankContext):
             value = yield from self.program(
@@ -343,6 +380,11 @@ class MPIJob:
             trace=self.tracer.records if self.tracer else None,
             placement=self.placement,
             profiles=[ctx.profile for ctx in contexts],
+            replay_hits=self.replay.hits if self.replay else 0,
+            replay_misses=self.replay.misses if self.replay else 0,
+            replay_events_saved=(
+                self.replay.events_saved if self.replay else 0
+            ),
         )
 
 

@@ -20,6 +20,14 @@ Design notes
   program yields the identical trace — every layer above relies on this,
   up to the observability span streams (:mod:`repro.trace`), which the
   tests require to be *bit-identical* across re-runs.
+* **Tick grid / translation invariance.**  Every scheduled delay is
+  snapped to an integer number of :data:`TICK`-second ticks (2**-50 s,
+  ~0.9 femtoseconds) and added to the clock in the *tick domain*, where
+  float arithmetic is exact for virtual times below eight seconds.  The
+  virtual interval consumed by a deterministic program fragment is then
+  independent of the absolute time at which it starts — the property the
+  collective replay cache (:mod:`repro.mpi.collectives.replay`) relies on
+  to re-emit recorded outcomes at a later clock value *bit-identically*.
 * **Failure propagation.**  An event may *fail* with an exception; waiting
   processes get the exception thrown at the yield point, which makes
   simulated error paths testable.
@@ -33,6 +41,7 @@ from __future__ import annotations
 
 import gc
 import heapq
+from math import ceil as _ceil
 from collections import deque
 from collections.abc import Generator, Iterable
 from types import GeneratorType
@@ -48,6 +57,7 @@ __all__ = [
     "Interrupt",
     "Process",
     "SimulationError",
+    "TICK",
 ]
 
 #: Version of the engine's *virtual-time semantics*.  Bump whenever a
@@ -57,7 +67,15 @@ __all__ = [
 #: automatically when the semantics move.  Pure wall-clock optimizations
 #: that keep the event stream bit-identical (see docs/performance.md)
 #: do NOT bump it.
-ENGINE_VERSION = "5.0"
+ENGINE_VERSION = "6.0"
+
+#: Virtual-time grid in seconds.  All scheduled times are integer
+#: multiples of this tick; see the "Tick grid" design note above.  At
+#: 2**-50 s the grid is ~12 orders of magnitude below a nanosecond, so
+#: quantization is far inside the noise floor of any modeled latency,
+#: while times up to eight virtual seconds stay exactly representable.
+TICK = 2.0 ** -50
+_INV_TICK = 2.0 ** 50
 
 
 class SimulationError(RuntimeError):
@@ -93,6 +111,7 @@ class Interrupt(Exception):
 _PENDING = 0
 _TRIGGERED = 1  # scheduled for callback processing
 _PROCESSED = 2  # callbacks have run
+_CANCELLED = 3  # cancelled before processing; drain loops skip it
 
 
 class Event:
@@ -162,6 +181,25 @@ class Event:
         else:
             engine._push(engine.now, self)
         return self
+
+    def cancel(self) -> None:
+        """Cancel the event before its callbacks run.
+
+        Intended for scheduled-but-unfired :meth:`Engine.timeout` events
+        (e.g. a watchdog that did not trip).  The queue entry is left in
+        place but flagged, the drain loops skip it without processing
+        (it does not count toward :attr:`Engine.event_count`), and the
+        engine compacts the heap once cancelled entries dominate, so
+        repeated timeout/cancel cycles keep the heap bounded.  Waiters
+        subscribed to a cancelled event are never resumed — cancel only
+        events nobody (left) waits on.  No-op once processed.
+        """
+        state = self._state
+        if state == _TRIGGERED:
+            self._state = _CANCELLED
+            self.engine._note_cancelled()
+        elif state == _PENDING:
+            self._state = _CANCELLED
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event as failed; waiters get *exc* thrown at them."""
@@ -548,11 +586,29 @@ class Engine:
         self._live_processes: set[Process] = set()
         self._unhandled: list[tuple[Process, BaseException]] = []
         self._event_count = 0
+        #: Cancelled-but-still-heap-resident entries (lazy deletion).
+        self._cancelled = 0
+        #: One-shot callbacks to run just before virtual time next
+        #: advances (or the queue drains).  Identity is stable: the run
+        #: loop caches this list object.
+        self._advance_hooks: list[Callable[[], None]] = []
 
     # -- construction helpers -------------------------------------------
     def event(self, name: str = "") -> Event:
         """Create a fresh pending :class:`Event`."""
         return Event(self, name)
+
+    def qtime(self, delay: float) -> float:
+        """Grid-exact absolute time *delay* seconds from now.
+
+        This is the arithmetic :meth:`timeout`/:meth:`pause` use: the
+        delay is rounded *up* to whole ticks (a timeout never fires before
+        its nominal delay) and the addition happens in the tick
+        domain, so the resulting interval is a pure function of *delay*
+        (never of the current absolute time).  Use it when storing an
+        absolute deadline that later scheduling must hit exactly.
+        """
+        return (self.now * _INV_TICK + _ceil(delay * _INV_TICK)) * TICK
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
         """An event that triggers *delay* virtual seconds from now."""
@@ -561,7 +617,7 @@ class Engine:
         ev = Event(self, name or f"timeout({delay:g})")
         ev._state = _TRIGGERED
         ev._value = value
-        self._push(self.now + delay, ev)
+        self._push((self.now * _INV_TICK + _ceil(delay * _INV_TICK)) * TICK, ev)
         return ev
 
     def pause(self, delay: float, value: Any = None) -> Event:
@@ -588,7 +644,7 @@ class Engine:
             ev._value = value
             if self.fast_path:
                 ev._poolable = True
-        time = self.now + delay
+        time = (self.now * _INV_TICK + _ceil(delay * _INV_TICK)) * TICK
         if self.fast_path and time <= self.now:
             self._defer(ev)
         else:
@@ -632,6 +688,41 @@ class Engine:
             ev.add_callback(lambda _ev: fn())
             self._push(self.now, ev)
 
+    def _note_cancelled(self) -> None:
+        # Lazy deletion bookkeeping: once cancelled entries are the
+        # majority of a non-trivial heap, rebuild it in place (the run
+        # loop holds the list object in a local).
+        self._cancelled += 1
+        heap = self._heap
+        if self._cancelled >= 64 and self._cancelled * 2 >= len(heap):
+            heap[:] = [e for e in heap if e[2]._state != _CANCELLED]
+            heapq.heapify(heap)
+            self._cancelled = 0
+
+    def on_time_advance(self, fn: Callable[[], None]) -> None:
+        """Run *fn* once, just before virtual time next advances.
+
+        The hook fires when every entry scheduled at the current time has
+        been processed — either because the next heap entry lies strictly
+        in the future or because the queue drained.  It may schedule new
+        work at the current time (processed before time moves) or in the
+        future.  Hooks are one-shot and run in registration order; a hook
+        that re-registers itself without scheduling work is an error (the
+        run loop would spin at the same timestamp).
+
+        The collective replay layer uses this as its decision point: all
+        ranks that entered a dispatch at the same timestamp have parked
+        by the time the hook fires, so arrival offsets are known exactly.
+        """
+        self._advance_hooks.append(fn)
+
+    def _run_advance_hooks(self) -> None:
+        hooks = self._advance_hooks
+        todo = list(hooks)
+        del hooks[: len(todo)]
+        for fn in todo:
+            fn()
+
     # -- run loop ----------------------------------------------------------
     def step(self) -> None:
         """Process one scheduled event (or deferred call).
@@ -639,22 +730,36 @@ class Engine:
         Pops the globally next ``(time, seq)`` entry, advancing ``now``.
         Deferred entries are all at the current time; a heap entry due
         now was scheduled before any of them (time could not have
-        advanced otherwise) and therefore precedes them.
+        advanced otherwise) and therefore precedes them.  Cancelled
+        entries are discarded unprocessed (and uncounted) on the way.
         """
-        deferred = self._deferred
-        if deferred:
-            heap = self._heap
-            if heap and heap[0][0] <= self.now:
-                entry = heapq.heappop(heap)
-                self.now = entry[0]
-                item = entry[2]
+        while True:
+            deferred = self._deferred
+            if deferred:
+                heap = self._heap
+                if heap and heap[0][0] <= self.now:
+                    entry = heapq.heappop(heap)
+                    self.now = entry[0]
+                    item = entry[2]
+                else:
+                    item = deferred.popleft()
             else:
-                item = deferred.popleft()
-        else:
-            time, _seq, item = heapq.heappop(self._heap)
-            if time < self.now:  # pragma: no cover - defensive
-                raise SimulationError("time went backwards")
-            self.now = time
+                heap = self._heap
+                if (
+                    self._advance_hooks
+                    and (not heap or heap[0][0] > self.now)
+                ):
+                    self._run_advance_hooks()
+                    continue
+                time, _seq, item = heapq.heappop(heap)
+                if time < self.now:  # pragma: no cover - defensive
+                    raise SimulationError("time went backwards")
+                self.now = time
+            if isinstance(item, Event) and item._state == _CANCELLED:
+                if self._cancelled:
+                    self._cancelled -= 1
+                continue
+            break
         self._event_count += 1
         # Plain events are processed inline (the _process body), sparing a
         # call per event; Process overrides _process, so subclasses take
@@ -697,6 +802,7 @@ class Engine:
         pool = self._pause_pool
         unhandled = self._unhandled
         heappop = heapq.heappop
+        hooks = self._advance_hooks
         now = self.now
         count = 0
         # The run loop allocates heavily but — with the Process reference
@@ -714,6 +820,18 @@ class Engine:
                     time = heap[0][0]
                     if time < now:  # pragma: no cover - defensive
                         raise SimulationError("time went backwards")
+                    if time > now and hooks:
+                        # Everything at the current time has been
+                        # processed: give the advance hooks (e.g. replay
+                        # decisions) a chance to add same-time work
+                        # before the clock moves.  Flush the local event
+                        # counter first so hooks observe an accurate
+                        # ``event_count`` (the replay recorder reads it
+                        # to price a dispatch).
+                        self._event_count += count
+                        count = 0
+                        self._run_advance_hooks()
+                        continue
                     if until is not None and time > until:
                         # Deferred entries are always at ``now`` <= until;
                         # only a heap advance can cross the boundary.
@@ -732,9 +850,21 @@ class Engine:
                     while heap and heap[0][0] == time:
                         deferred.append(heappop(heap)[2])
                 else:
+                    if hooks:
+                        self._event_count += count
+                        count = 0
+                        self._run_advance_hooks()
+                        if deferred or heap:
+                            continue
                     break
                 count += 1
                 if type(item) is Event:
+                    state = item._state
+                    if state == _CANCELLED:
+                        count -= 1
+                        if self._cancelled:
+                            self._cancelled -= 1
+                        continue
                     item._state = _PROCESSED
                     callbacks = item.callbacks
                     item.callbacks = None

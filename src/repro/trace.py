@@ -169,6 +169,33 @@ class Tracer:
                 del stack[i]
                 break
 
+    def emit_replayed(self, templates: list[dict], base_ticks: float) -> None:
+        """Append a recorded span slice, shifted to ``base_ticks``.
+
+        Used by the collective replay cache: *templates* carry times as
+        whole ticks relative to the recorded entry (``_tt``); emission
+        restores absolute times on the engine's tick grid, assigns fresh
+        span ids (remapping in-slice parents), and tags every record
+        ``replayed``.  The open-span stacks are untouched — replay only
+        fires when no span is open, so the slice is self-contained.
+        """
+        from repro.simulator.engine import TICK
+
+        sid_map: dict[int, int] = {}
+        for tpl in templates:
+            rec = dict(tpl)
+            rec["t"] = (base_ticks + rec.pop("_tt")) * TICK
+            rec["replayed"] = True
+            sid = rec.get("sid")
+            if sid is not None:
+                self._next_sid += 1
+                sid_map[sid] = self._next_sid
+                rec["sid"] = self._next_sid
+                parent = rec.get("parent")
+                if parent is not None:
+                    rec["parent"] = sid_map[parent]
+            self.records.append(rec)
+
     def run_in_context(self, rank: int, gen):
         """Delegating generator driving *gen* inside a fresh span context.
 
@@ -315,7 +342,7 @@ def to_chrome_trace(trace: list[dict]) -> dict:
         args = {
             k: rec[k]
             for k in ("comm", "nbytes", "policy", "phase", "wait",
-                      "sid", "parent", "peer", "level")
+                      "sid", "parent", "peer", "level", "replayed")
             if k in rec
         }
         args.setdefault("kind", _kind(rec))

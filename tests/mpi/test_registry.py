@@ -377,7 +377,8 @@ class TestBehaviorPreservation:
                 else hybrid_allgather_program)
         result = run_program(
             spec, None, prog, placement=placement, payload_mode="model",
-            trace=True, program_kwargs={"nbytes_per_rank": nbytes},
+            trace=True,
+            program_kwargs={"nbytes_per_rank": nbytes, "reps": 1},
         )
         # Only mpi-layer dispatches: the hy_* records are a new,
         # additive tracing feature of the registry refactor.
@@ -386,28 +387,30 @@ class TestBehaviorPreservation:
             if not r["op"].startswith("hy_")
         )
 
+    # Counts are warmup + 1 timed rep per rank.  The OSU harness's
+    # align-delimited protocol (see repro.bench.osu) realigns ranks with
+    # Comm.align(), which is not a dispatch — the barrier records the
+    # old inter-repetition barrier used to contribute are gone, and the
+    # algorithm selections are what this test actually pins.
+
     def test_fig7_single_node(self):
         spec, placement = hazel_hen(1), Placement.block(1, 24)
         assert self._multiset(spec, placement, 8 * 64, "pure") == {
             ("allgather", "bruck"): 48,
-            ("barrier", "shm_flags"): 24,
         }
         assert self._multiset(spec, placement, 8 * 16384, "pure") == {
             ("allgather", "ring"): 48,
-            ("barrier", "shm_flags"): 24,
         }
         assert self._multiset(spec, placement, 8 * 64, "hybrid") == {
-            ("barrier", "shm_flags"): 72,
+            ("barrier", "shm_flags"): 48,
         }
 
     def test_fig9_multi_node(self):
         spec, placement = hazel_hen(16), Placement.block(16, 12)
         assert self._multiset(spec, placement, 8 * 64, "pure") == {
             ("allgather", "smp_hierarchical"): 384,
-            ("barrier", "smp_hierarchical"): 192,
         }
         assert self._multiset(spec, placement, 8 * 64, "hybrid") == {
             ("allgatherv", "bruck_v"): 32,
             ("barrier", "shm_flags"): 768,
-            ("barrier", "smp_hierarchical"): 192,
         }

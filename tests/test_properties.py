@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -212,8 +214,14 @@ def test_engine_completion_order_deterministic(delays):
 
     first = trace()
     assert first == trace()
-    # Completion order sorts by (delay, spawn index).
-    expected = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+    # Completion order sorts by (delay, spawn index).  Delays are
+    # quantized to the engine's tick grid (ceil to whole ticks), so
+    # delays within one tick of each other are simultaneous and fall
+    # back to spawn order.
+    expected = sorted(
+        range(len(delays)),
+        key=lambda i: (math.ceil(delays[i] * 2.0**50), i),
+    )
     assert first == expected
 
 
